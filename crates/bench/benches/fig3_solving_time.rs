@@ -1,0 +1,47 @@
+//! Fig. 3 criterion bench: schedule-solving time of RESPECT, the
+//! commercial-compiler emulation, and the exact solver.
+//!
+//! The full 10-model sweep lives in the `reproduce` binary; this bench
+//! tracks three representative models so regressions in any solver's
+//! latency are caught by `cargo bench`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use respect_bench::{Competitors, PolicyScale};
+use respect_graph::models;
+use respect_sched::Scheduler;
+
+fn bench_solving_time(c: &mut Criterion) {
+    let comp = Competitors::new(PolicyScale::Quick, Duration::from_secs(2));
+    let suite = [
+        ("Xception", models::xception()),
+        ("ResNet50", models::resnet50()),
+        ("DenseNet121", models::densenet121()),
+    ];
+    let mut group = c.benchmark_group("fig3_solving_time");
+    group.sample_size(10);
+    for (name, dag) in &suite {
+        for stages in [4usize, 6] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("respect/{name}"), stages),
+                &stages,
+                |b, &k| b.iter(|| comp.respect.schedule(dag, k).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("compiler/{name}"), stages),
+                &stages,
+                |b, &k| b.iter(|| comp.compiler.schedule(dag, k).unwrap()),
+            );
+        }
+    }
+    // exact only on the smallest model; it dominates wall-clock otherwise
+    let (name, dag) = &suite[0];
+    group.bench_function(BenchmarkId::new(format!("exact/{name}"), 4), |b| {
+        b.iter(|| comp.exact.schedule(dag, 4).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solving_time);
+criterion_main!(benches);

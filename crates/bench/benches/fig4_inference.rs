@@ -1,0 +1,42 @@
+//! Fig. 4 criterion bench: simulated pipelined inference runtime of the
+//! three schedulers' outputs (1 000 inferences, as in the paper).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use respect_bench::{simulated_inference_s, timed_schedule, Competitors, PolicyScale};
+use respect_graph::models;
+use respect_tpu::device::DeviceSpec;
+use respect_tpu::{compile, exec};
+
+fn bench_inference(c: &mut Criterion) {
+    let comp = Competitors::new(PolicyScale::Quick, Duration::from_secs(2));
+    let spec = DeviceSpec::coral();
+    let dag = models::resnet152();
+    let mut group = c.benchmark_group("fig4_inference");
+    group.sample_size(20);
+    for stages in [4usize, 6] {
+        let (s_c, _) = timed_schedule(&comp.compiler, &dag, stages);
+        let (s_r, _) = timed_schedule(&comp.respect, &dag, stages);
+        let p_c = compile::compile(&dag, &s_c, &spec).unwrap();
+        let p_r = compile::compile(&dag, &s_r, &spec).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("simulate/compiler-schedule", stages),
+            &stages,
+            |b, _| b.iter(|| exec::simulate(&p_c, &spec, 1_000).total_s),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simulate/respect-schedule", stages),
+            &stages,
+            |b, _| b.iter(|| exec::simulate(&p_r, &spec, 1_000).total_s),
+        );
+        // the figure's actual quantity: report it once per run
+        let rel = simulated_inference_s(&dag, &s_r, &spec)
+            / simulated_inference_s(&dag, &s_c, &spec);
+        eprintln!("ResNet152 {stages}-stage: RESPECT relative runtime {rel:.3} (compiler=1)");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 5 criterion bench: the gap-to-optimal computation (exact +
+//! RESPECT peak parameter memory) on a representative model.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use respect_bench::{peak_param_mb, timed_schedule, Competitors, PolicyScale};
+use respect_graph::models;
+use respect_tpu::device::DeviceSpec;
+
+fn bench_gap(c: &mut Criterion) {
+    let comp = Competitors::new(PolicyScale::Quick, Duration::from_secs(2));
+    let model = DeviceSpec::coral().cost_model();
+    let dag = models::xception();
+    let mut group = c.benchmark_group("fig5_gap");
+    group.sample_size(10);
+    for stages in [4usize, 5, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("respect_peak_mb/Xception", stages),
+            &stages,
+            |b, &k| {
+                b.iter(|| {
+                    let (s, _) = timed_schedule(&comp.respect, &dag, k);
+                    peak_param_mb(&dag, &s, &model)
+                })
+            },
+        );
+    }
+    // report the actual gap once
+    for stages in [4usize, 5, 6] {
+        let (s_e, _) = timed_schedule(&comp.exact, &dag, stages);
+        let (s_r, _) = timed_schedule(&comp.respect, &dag, stages);
+        let opt = peak_param_mb(&dag, &s_e, &model);
+        let got = peak_param_mb(&dag, &s_r, &model);
+        eprintln!(
+            "Xception {stages}-stage: optimal {opt:.2} MB, RESPECT {got:.2} MB, gap {:.2}%",
+            (got - opt).abs() / opt * 100.0
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap);
+criterion_main!(benches);

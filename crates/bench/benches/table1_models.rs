@@ -1,0 +1,36 @@
+//! Table I criterion bench: model-zoo construction. Asserts the Table I
+//! statistics once per run and tracks generation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use respect_graph::models;
+
+fn bench_models(c: &mut Criterion) {
+    // assert Table I statistics (the table itself)
+    let expected: &[(&str, usize, usize, usize)] = &[
+        ("Xception", 134, 2, 125),
+        ("ResNet50", 177, 2, 168),
+        ("ResNet101", 347, 2, 338),
+        ("ResNet152", 517, 2, 508),
+        ("DenseNet121", 429, 2, 428),
+        ("ResNet101v2", 379, 2, 371),
+        ("ResNet152v2", 566, 2, 558),
+        ("DenseNet169", 597, 2, 596),
+        ("DenseNet201", 709, 2, 708),
+        ("InceptionResNetv2", 782, 4, 571),
+    ];
+    for ((name, dag), &(en, ev, ed, edep)) in models::table1().iter().zip(expected) {
+        assert_eq!(*name, en);
+        assert_eq!((dag.len(), dag.max_in_degree(), dag.depth()), (ev, ed, edep));
+    }
+    eprintln!("Table I statistics verified for all 10 models");
+
+    let mut group = c.benchmark_group("table1_models");
+    group.bench_function("build_all_table1", |b| b.iter(models::table1));
+    group.bench_function("build_inception_resnet_v2", |b| {
+        b.iter(models::inception_resnet_v2)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p respect-bench --bin reproduce -- all --quick
+//! cargo run --release -p respect-bench --bin reproduce -- fig3
+//! ```
+//!
+//! Experiments: `table1`, `fig3`, `fig4`, `fig5`, `ablation`, `all`.
+//! `--quick` restricts to three models, two stage counts, and a
+//! seconds-scale policy; omit it for the full 10/12-model sweep.
+
+use std::time::Duration;
+
+use respect_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    // per-instance exact-solver limit, like a practical ILP time limit
+    let exact_budget = if quick {
+        Duration::from_secs(5)
+    } else {
+        Duration::from_secs(15)
+    };
+
+    match which {
+        "table1" => table1(),
+        "fig3" => fig3(quick, exact_budget),
+        "fig4" => fig4(quick, exact_budget),
+        "fig5" => fig5(quick, exact_budget),
+        "ablation" => ablation(quick),
+        "all" => {
+            table1();
+            fig3(quick, exact_budget);
+            fig4(quick, exact_budget);
+            fig5(quick, exact_budget);
+            ablation(quick);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; use table1|fig3|fig4|fig5|ablation|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1() {
+    println!("\n== Table I: DNN model statistics =================================");
+    println!("{:<20} {:>6} {:>7} {:>7} {:>10}", "model", "|V|", "deg(V)", "depth", "params MB");
+    for r in experiments::table1() {
+        println!(
+            "{:<20} {:>6} {:>7} {:>7} {:>10.1}",
+            r.name, r.nodes, r.deg, r.depth, r.param_mb
+        );
+    }
+}
+
+fn fig3(quick: bool, budget: Duration) {
+    println!("\n== Fig. 3: schedule solving time (speedups of RL) ================");
+    println!(
+        "{:<20} {:>5} {:>3} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "model", "|V|", "k", "RL (s)", "compiler(s)", "exact (s)", "xCompiler", "xExact"
+    );
+    let rows = experiments::fig3(quick, budget);
+    for r in &rows {
+        println!(
+            "{:<20} {:>5} {:>3} {:>12.6} {:>12.6} {:>12.6} {:>9.1} {:>9.1}",
+            r.name,
+            r.nodes,
+            r.stages,
+            r.t_respect_s,
+            r.t_compiler_s,
+            r.t_exact_s,
+            r.speedup_vs_compiler(),
+            r.speedup_vs_exact()
+        );
+    }
+    let max_c = rows.iter().map(Fig3SpeedC).fold(0.0, f64::max);
+    let max_e = rows
+        .iter()
+        .map(|r| r.speedup_vs_exact())
+        .fold(0.0, f64::max);
+    println!("paper: 24-683x over compiler, 100-930x over exact");
+    println!("ours:  up to {max_c:.0}x over compiler, up to {max_e:.0}x over exact");
+
+    #[allow(non_snake_case)]
+    fn Fig3SpeedC(r: &experiments::Fig3Row) -> f64 {
+        r.speedup_vs_compiler()
+    }
+}
+
+fn fig4(quick: bool, budget: Duration) {
+    println!("\n== Fig. 4: pipelined inference runtime (normalized, compiler=1) ==");
+    println!(
+        "{:<20} {:>3} {:>14} {:>9} {:>9}",
+        "model", "k", "compiler (s)", "exact", "RESPECT"
+    );
+    let rows = experiments::fig4(quick, budget);
+    for r in &rows {
+        println!(
+            "{:<20} {:>3} {:>14.6} {:>9.3} {:>9.3}",
+            r.name, r.stages, r.compiler_s, r.exact_rel, r.respect_rel
+        );
+    }
+    for stages in [4, 5, 6] {
+        let sel: Vec<&experiments::Fig4Row> =
+            rows.iter().filter(|r| r.stages == stages).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let best = sel.iter().map(|r| 1.0 / r.respect_rel).fold(0.0, f64::max);
+        let mean =
+            sel.iter().map(|r| 1.0 / r.respect_rel).sum::<f64>() / sel.len() as f64;
+        println!(
+            "{stages}-stage: RESPECT speedup over compiler mean {mean:.2}x, best {best:.2}x"
+        );
+    }
+    println!("paper: mean 1.06x/1.08x/1.65x for 4/5/6 stages, best 2.5x");
+}
+
+fn fig5(quick: bool, budget: Duration) {
+    println!("\n== Fig. 5: gap-to-optimal parameter caching (peak MB/stage) ======");
+    println!(
+        "{:<20} {:>3} {:>12} {:>12} {:>8}",
+        "model", "k", "optimal MB", "RESPECT MB", "gap %"
+    );
+    let rows = experiments::fig5(quick, budget);
+    for r in &rows {
+        println!(
+            "{:<20} {:>3} {:>12.2} {:>12.2} {:>8.2}",
+            r.name,
+            r.stages,
+            r.optimal_mb,
+            r.respect_mb,
+            r.gap_pct()
+        );
+    }
+    for (stages, gap) in experiments::fig5_mean_gaps(&rows) {
+        println!("{stages}-stage mean gap: {gap:.2}%");
+    }
+    println!("paper: 2.26% / 2.74% / 6.31% mean gap for 4 / 5 / 6 stages");
+}
+
+fn ablation(quick: bool) {
+    println!("\n== Ablation: learned order vs cost-aware packing (objective, s) ==");
+    println!(
+        "{:<20} {:>3} {:>12} {:>12} {:>12} {:>12}",
+        "model", "k", "balanced", "pack(dflt)", "RL+eqcut", "RESPECT"
+    );
+    for r in experiments::ablation(quick) {
+        println!(
+            "{:<20} {:>3} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            r.name, r.stages, r.balanced_default, r.pack_default, r.respect_equal_cut, r.respect_full
+        );
+    }
+    println!("reading: pack(dflt) isolates rho; RL+eqcut isolates the learned order");
+}

@@ -1,0 +1,260 @@
+//! The paper's experiments as reusable row generators. Each function
+//! returns structured rows; the `reproduce` binary renders them.
+
+use std::time::Duration;
+
+use respect_graph::models;
+use respect_sched::{pack, order, Scheduler};
+use respect_tpu::device::DeviceSpec;
+
+use crate::{
+    fig5_suite, model_suite, peak_param_mb, simulated_inference_s, timed_schedule, Competitors,
+    PolicyScale, STAGE_COUNTS,
+};
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Model name.
+    pub name: &'static str,
+    /// Node count `|V|`.
+    pub nodes: usize,
+    /// Maximum in-degree `deg(V)`.
+    pub deg: usize,
+    /// Longest path (edges).
+    pub depth: usize,
+    /// Total int8 parameter megabytes (ours; not in the paper's table).
+    pub param_mb: f64,
+}
+
+/// Regenerates Table I from the model zoo.
+pub fn table1() -> Vec<Table1Row> {
+    models::table1()
+        .into_iter()
+        .map(|(name, dag)| Table1Row {
+            name,
+            nodes: dag.len(),
+            deg: dag.max_in_degree(),
+            depth: dag.depth(),
+            param_mb: dag.total_param_bytes() as f64 / 1.0e6,
+        })
+        .collect()
+}
+
+/// One point of Fig. 3 (solving-time comparison).
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Model name.
+    pub name: &'static str,
+    /// Graph size `|V|`.
+    pub nodes: usize,
+    /// Pipeline stages.
+    pub stages: usize,
+    /// RESPECT solving time, seconds.
+    pub t_respect_s: f64,
+    /// Commercial-compiler solving time, seconds.
+    pub t_compiler_s: f64,
+    /// Exact-method solving time, seconds.
+    pub t_exact_s: f64,
+}
+
+impl Fig3Row {
+    /// RL speedup over the compiler (the blue series of Fig. 3).
+    pub fn speedup_vs_compiler(&self) -> f64 {
+        self.t_compiler_s / self.t_respect_s
+    }
+
+    /// RL speedup over the exact method (the red series of Fig. 3).
+    pub fn speedup_vs_exact(&self) -> f64 {
+        self.t_exact_s / self.t_respect_s
+    }
+}
+
+/// Regenerates Fig. 3: schedule-solving time of the three methods over
+/// the model suite and stage counts.
+pub fn fig3(quick: bool, exact_budget: Duration) -> Vec<Fig3Row> {
+    let comp = Competitors::new(scale(quick), exact_budget);
+    let mut rows = Vec::new();
+    for (name, dag) in model_suite(quick) {
+        for &stages in stage_counts(quick) {
+            let (_, t_r) = timed_schedule(&comp.respect, &dag, stages);
+            let (_, t_c) = timed_schedule(&comp.compiler, &dag, stages);
+            let (_, t_e) = timed_schedule(&comp.ilp, &dag, stages);
+            rows.push(Fig3Row {
+                name,
+                nodes: dag.len(),
+                stages,
+                t_respect_s: t_r.as_secs_f64(),
+                t_compiler_s: t_c.as_secs_f64(),
+                t_exact_s: t_e.as_secs_f64(),
+            });
+        }
+    }
+    rows
+}
+
+/// One point of Fig. 4 (simulated on-chip inference runtime, normalized
+/// to the commercial compiler).
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Model name.
+    pub name: &'static str,
+    /// Pipeline stages.
+    pub stages: usize,
+    /// Compiler average inference seconds (the normalization base).
+    pub compiler_s: f64,
+    /// Exact method, relative to the compiler (1.0 = parity).
+    pub exact_rel: f64,
+    /// RESPECT, relative to the compiler.
+    pub respect_rel: f64,
+}
+
+/// Regenerates Fig. 4: 1 000-inference pipelined runtime per scheduler,
+/// normalized to the Edge TPU compiler baseline.
+pub fn fig4(quick: bool, exact_budget: Duration) -> Vec<Fig4Row> {
+    let comp = Competitors::new(scale(quick), exact_budget);
+    let spec = DeviceSpec::coral();
+    let mut rows = Vec::new();
+    for (name, dag) in model_suite(quick) {
+        for &stages in stage_counts(quick) {
+            let (s_c, _) = timed_schedule(&comp.compiler, &dag, stages);
+            let (s_e, _) = timed_schedule(&comp.exact, &dag, stages);
+            let (s_r, _) = timed_schedule(&comp.respect, &dag, stages);
+            let base = simulated_inference_s(&dag, &s_c, &spec);
+            rows.push(Fig4Row {
+                name,
+                stages,
+                compiler_s: base,
+                exact_rel: simulated_inference_s(&dag, &s_e, &spec) / base,
+                respect_rel: simulated_inference_s(&dag, &s_r, &spec) / base,
+            });
+        }
+    }
+    rows
+}
+
+/// One point of Fig. 5 (gap-to-optimal parameter caching).
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Model name.
+    pub name: &'static str,
+    /// Pipeline stages.
+    pub stages: usize,
+    /// Exact-optimal peak per-stage parameter memory, MB.
+    pub optimal_mb: f64,
+    /// RESPECT peak per-stage parameter memory, MB.
+    pub respect_mb: f64,
+}
+
+impl Fig5Row {
+    /// Absolute relative gap to optimal, in percent.
+    pub fn gap_pct(&self) -> f64 {
+        (self.respect_mb - self.optimal_mb).abs() / self.optimal_mb * 100.0
+    }
+}
+
+/// Regenerates Fig. 5: peak per-stage parameter memory of RESPECT vs the
+/// exact optimum over the 12-model suite.
+pub fn fig5(quick: bool, exact_budget: Duration) -> Vec<Fig5Row> {
+    let comp = Competitors::new(scale(quick), exact_budget);
+    let model = DeviceSpec::coral().cost_model();
+    let mut rows = Vec::new();
+    for (name, dag) in fig5_suite(quick) {
+        for &stages in stage_counts(quick) {
+            let (s_e, _) = timed_schedule(&comp.exact, &dag, stages);
+            let (s_r, _) = timed_schedule(&comp.respect, &dag, stages);
+            rows.push(Fig5Row {
+                name,
+                stages,
+                optimal_mb: peak_param_mb(&dag, &s_e, &model),
+                respect_mb: peak_param_mb(&dag, &s_r, &model),
+            });
+        }
+    }
+    rows
+}
+
+/// Mean Fig. 5 gap per stage count (the paper reports 2.26 / 2.74 /
+/// 6.31 % for 4 / 5 / 6 stages).
+pub fn fig5_mean_gaps(rows: &[Fig5Row]) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for &stages in STAGE_COUNTS.iter() {
+        let gaps: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.stages == stages)
+            .map(Fig5Row::gap_pct)
+            .collect();
+        if !gaps.is_empty() {
+            out.push((stages, gaps.iter().sum::<f64>() / gaps.len() as f64));
+        }
+    }
+    out
+}
+
+/// One row of the ablation study (DESIGN.md, "Design choices worth
+/// ablating"): isolates the contribution of the learned order vs the
+/// cost-aware packing `ρ`.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Model name.
+    pub name: &'static str,
+    /// Pipeline stages.
+    pub stages: usize,
+    /// Bottleneck objective: compiler heuristic (default order, balanced
+    /// parameter cuts).
+    pub balanced_default: f64,
+    /// Default order packed by the `ρ` DP (packing only).
+    pub pack_default: f64,
+    /// RESPECT order with naive equal-node cuts (learned order only).
+    pub respect_equal_cut: f64,
+    /// Full RESPECT (learned order + `ρ` DP).
+    pub respect_full: f64,
+}
+
+/// Regenerates the ablation: each scheduler component on/off.
+pub fn ablation(quick: bool) -> Vec<AblationRow> {
+    let spec = DeviceSpec::coral();
+    let model = spec.cost_model();
+    let comp = Competitors::new(scale(quick), Duration::from_secs(5));
+    let mut rows = Vec::new();
+    for (name, dag) in model_suite(quick) {
+        for &stages in &[4usize, 6] {
+            let balanced = respect_sched::balanced::ParamBalanced::new()
+                .schedule(&dag, stages)
+                .expect("valid");
+            let (pack_default, _) = pack::pack_default(&dag, stages, &model);
+            let pi = comp.respect.predict_sequence(&dag);
+            let n = dag.len();
+            let equal_cuts: Vec<usize> =
+                (1..stages).map(|k| k * n / stages).collect();
+            let equal = respect_sched::Schedule::from_cuts(&pi, &equal_cuts, stages);
+            let (full, _) = pack::pack(&dag, &pi, stages, &model);
+            let _ = order::positions(&dag, &pi);
+            rows.push(AblationRow {
+                name,
+                stages,
+                balanced_default: model.objective(&dag, &balanced),
+                pack_default: model.objective(&dag, &pack_default),
+                respect_equal_cut: model.objective(&dag, &equal),
+                respect_full: model.objective(&dag, &full),
+            });
+        }
+    }
+    rows
+}
+
+fn scale(quick: bool) -> PolicyScale {
+    if quick {
+        PolicyScale::Quick
+    } else {
+        PolicyScale::Bench
+    }
+}
+
+fn stage_counts(quick: bool) -> &'static [usize] {
+    if quick {
+        &[4, 6]
+    } else {
+        &STAGE_COUNTS
+    }
+}

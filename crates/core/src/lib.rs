@@ -1,0 +1,50 @@
+//! RESPECT: reinforcement-learning-based scheduling of DNN computational
+//! graphs on pipelined Coral Edge TPUs (DAC 2023 reproduction).
+//!
+//! The framework follows the paper's four steps (Fig. 1a):
+//!
+//! 1. **DAG extraction** — `respect-graph` supplies computational graphs;
+//! 2. **Embedding** ([`embedding`]) — each node becomes a feature column:
+//!    topological level, parents' levels and ids, a hashed node id, and
+//!    memory consumption (Sec. III-A);
+//! 3. **LSTM-PtrNet inference** ([`policy`]) — an encoder/decoder LSTM
+//!    with glimpse + pointer attention emits a node sequence `π`
+//!    (Algorithm 1), trained by REINFORCE ([`train`]) to imitate the
+//!    exact scheduler's sequence `γ` with a cosine-similarity reward
+//!    ([`reward`], Eq. 3) and a rollout baseline (Eq. 6);
+//! 4. **Deployment** ([`scheduler`]) — the sequence is packed onto the
+//!    pipeline by `ρ` (`respect-sched::pack`) and legalized by the
+//!    post-inference processing (`respect-sched::repair`).
+//!
+//! Training is data-independent: only synthetic 30-node graphs
+//! ([`dataset`]) are used, exactly as in the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use respect_core::{train_policy, RespectScheduler, TrainConfig};
+//! use respect_graph::{SyntheticConfig, SyntheticSampler};
+//! use respect_sched::Scheduler as _;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let policy = train_policy(&TrainConfig::smoke_test())?;
+//! let scheduler = RespectScheduler::new(policy);
+//! let dag = SyntheticSampler::new(SyntheticConfig::paper(2), 7).sample();
+//! let schedule = scheduler.schedule(&dag, 4)?;
+//! assert!(schedule.is_valid(&dag));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dataset;
+pub mod embedding;
+pub mod model_io;
+pub mod policy;
+pub mod reward;
+pub mod scheduler;
+pub mod train;
+
+pub use embedding::{embed, EmbeddingConfig};
+pub use policy::{DecodeMode, PolicyConfig, PtrNetPolicy};
+pub use scheduler::RespectScheduler;
+pub use train::{train_policy, TrainConfig, TrainReport};

@@ -1,0 +1,123 @@
+//! Persistence for trained policies: configuration header + weights.
+//!
+//! Layout: magic `"RSPP"`, a fixed-width little-endian header with the
+//! [`PolicyConfig`] fields, then the [`respect_nn::serialize`] weight
+//! block.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use respect_nn::serialize::{read_params, write_params, WeightIoError};
+
+use crate::embedding::EmbeddingConfig;
+use crate::policy::{PolicyConfig, PtrNetPolicy};
+
+const MAGIC: &[u8; 4] = b"RSPP";
+
+/// Writes a policy (config + weights) to any writer.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+pub fn write_policy<W: Write>(mut w: W, policy: &PtrNetPolicy) -> Result<(), WeightIoError> {
+    let c = policy.config();
+    w.write_all(MAGIC)?;
+    w.write_all(&(c.hidden as u32).to_le_bytes())?;
+    w.write_all(&(c.embedding.max_parents as u32).to_le_bytes())?;
+    w.write_all(&[c.dependency_masking as u8])?;
+    w.write_all(&c.seed.to_le_bytes())?;
+    write_params(w, policy.params())
+}
+
+/// Reads a policy back from any reader.
+///
+/// # Errors
+///
+/// Returns [`WeightIoError::Format`] on bad magic/truncation and
+/// propagates reader failures.
+pub fn read_policy<R: Read>(mut r: R) -> Result<PtrNetPolicy, WeightIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(WeightIoError::Format("bad policy magic".into()));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let hidden = u32::from_le_bytes(u32buf) as usize;
+    r.read_exact(&mut u32buf)?;
+    let max_parents = u32::from_le_bytes(u32buf) as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let mut seedbuf = [0u8; 8];
+    r.read_exact(&mut seedbuf)?;
+    let config = PolicyConfig {
+        hidden,
+        embedding: EmbeddingConfig { max_parents },
+        dependency_masking: flag[0] != 0,
+        seed: u64::from_le_bytes(seedbuf),
+    };
+    let params = read_params(r)?;
+    Ok(PtrNetPolicy::from_parts(config, params))
+}
+
+/// Saves a policy to a file.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_policy(path: impl AsRef<Path>, policy: &PtrNetPolicy) -> Result<(), WeightIoError> {
+    let f = std::fs::File::create(path)?;
+    write_policy(std::io::BufWriter::new(f), policy)
+}
+
+/// Loads a policy from a file.
+///
+/// # Errors
+///
+/// Propagates file-open/read errors and format violations.
+pub fn load_policy(path: impl AsRef<Path>) -> Result<PtrNetPolicy, WeightIoError> {
+    let f = std::fs::File::open(path)?;
+    read_policy(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DecodeMode;
+    use respect_graph::{SyntheticConfig, SyntheticSampler};
+
+    #[test]
+    fn roundtrip_preserves_config_and_behaviour() {
+        let policy = PtrNetPolicy::new(PolicyConfig::small(10));
+        let mut buf = Vec::new();
+        write_policy(&mut buf, &policy).unwrap();
+        let restored = read_policy(buf.as_slice()).unwrap();
+        assert_eq!(policy.config(), restored.config());
+        assert_eq!(policy.params(), restored.params());
+        // behavioural equality: identical greedy decodes
+        let dag = SyntheticSampler::new(SyntheticConfig::paper(3), 6).sample();
+        let feats = crate::embedding::embed(&dag, &policy.config().embedding);
+        assert_eq!(
+            policy.decode(&dag, &feats, &mut DecodeMode::Greedy),
+            restored.decode(&dag, &feats, &mut DecodeMode::Greedy)
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("respect_core_model_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.rspp");
+        let policy = PtrNetPolicy::new(PolicyConfig::small(6));
+        save_policy(&path, &policy).unwrap();
+        let restored = load_policy(&path).unwrap();
+        assert_eq!(policy.params(), restored.params());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let err = read_policy(&b"WRONGDATA..."[..]).unwrap_err();
+        assert!(matches!(err, WeightIoError::Format(_)));
+    }
+}

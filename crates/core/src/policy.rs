@@ -1,0 +1,569 @@
+//! The LSTM-PtrNet RL agent (paper, Sec. III-B, Fig. 1b, Algorithm 1).
+//!
+//! Architecture:
+//!
+//! * a linear projection lifts each node's embedding column to the hidden
+//!   dimension;
+//! * an **encoder LSTM** digests the projected queue `q` into contexts
+//!   `{Ctext_i}` (its final state seeds the decoder);
+//! * a **decoder LSTM** runs one step per output position: its hidden
+//!   state is refined by a **glimpse** attention over the context matrix,
+//!   then a **pointer** head produces logits over candidate nodes;
+//! * logits of nodes already emitted are masked to −∞ (Algorithm 1); with
+//!   [`PolicyConfig::dependency_masking`] (default), nodes whose parents
+//!   have not been emitted are masked too, so `π` is always a valid
+//!   topological order and post-inference dependency repair becomes a
+//!   safeguard rather than a necessity;
+//! * the first decoder input `dec0` is a trainable parameter, exactly as
+//!   in the paper.
+//!
+//! Two execution paths share the same weights: a tape-based
+//! [`PtrNetPolicy::rollout`] for REINFORCE training, and a gradient-free
+//! [`PtrNetPolicy::decode`] used at deployment (this is what Fig. 3 times
+//! as RESPECT's solving time).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use respect_graph::{Dag, NodeId};
+use respect_nn::attention::AttentionSpec;
+use respect_nn::lstm::LstmSpec;
+use respect_nn::tape::{masked_softmax, Tape, Var};
+use respect_nn::{init, Bindings, Matrix, Params};
+
+use crate::embedding::EmbeddingConfig;
+
+/// Hyperparameters of the pointer-network policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// LSTM hidden size (the paper uses 256 cells).
+    pub hidden: usize,
+    /// Node-embedding layout.
+    pub embedding: EmbeddingConfig,
+    /// Mask nodes whose parents were not emitted yet (guarantees `π` is a
+    /// topological order). The paper instead relies on post-inference
+    /// repair; disable to reproduce that behaviour.
+    pub dependency_masking: bool,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl PolicyConfig {
+    /// The paper's configuration: 256 LSTM cells.
+    pub fn paper() -> Self {
+        PolicyConfig {
+            hidden: 256,
+            embedding: EmbeddingConfig::default(),
+            dependency_masking: true,
+            seed: 0x7e5c,
+        }
+    }
+
+    /// A small configuration for tests and laptop-scale training.
+    pub fn small(hidden: usize) -> Self {
+        PolicyConfig {
+            hidden,
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// How the decoder picks the next node.
+#[derive(Debug)]
+pub enum DecodeMode {
+    /// Highest-probability node (deterministic).
+    Greedy,
+    /// Sample from the pointer distribution (training exploration).
+    Sample(StdRng),
+}
+
+impl DecodeMode {
+    /// A sampling mode seeded for reproducibility.
+    pub fn sample_seeded(seed: u64) -> Self {
+        DecodeMode::Sample(StdRng::seed_from_u64(seed))
+    }
+}
+
+/// A differentiable decode: the emitted sequence plus the summed
+/// log-probability of its choices on the tape.
+#[derive(Debug)]
+pub struct Rollout {
+    /// Emitted node sequence `π`.
+    pub sequence: Vec<NodeId>,
+    /// `Σ_t log p(π(t) | π(<t), G)` as a tape scalar.
+    pub log_prob: Var,
+}
+
+/// The LSTM pointer network with its trainable parameters.
+#[derive(Debug, Clone)]
+pub struct PtrNetPolicy {
+    config: PolicyConfig,
+    params: Params,
+}
+
+impl PtrNetPolicy {
+    /// Creates a policy with freshly initialized weights.
+    pub fn new(config: PolicyConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let h = config.hidden;
+        let feat = config.embedding.feature_dim();
+        let mut params = Params::new();
+        params.insert("proj.w", init::xavier_uniform(h, feat, &mut rng));
+        LstmSpec::new("enc", h, h).register(&mut params, &mut rng);
+        LstmSpec::new("dec", h, h).register(&mut params, &mut rng);
+        AttentionSpec::new("glimpse", h).register(&mut params, &mut rng);
+        AttentionSpec::new("pointer", h).register(&mut params, &mut rng);
+        params.insert("dec0", init::uniform(h, 1, 0.05, &mut rng));
+        PtrNetPolicy { config, params }
+    }
+
+    /// Restores a policy from its configuration and saved weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is missing any registered weight (checked on
+    /// first use).
+    pub fn from_parts(config: PolicyConfig, params: Params) -> Self {
+        PtrNetPolicy { config, params }
+    }
+
+    /// The policy's configuration.
+    pub fn config(&self) -> &PolicyConfig {
+        &self.config
+    }
+
+    /// The trainable parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Mutable access for optimizers.
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
+    fn mask_init(&self, dag: &Dag) -> MaskState {
+        MaskState::new(dag, self.config.dependency_masking)
+    }
+
+    /// Binds the policy's parameters onto a tape. Bind **once** per tape
+    /// and share the bindings across a batch of rollouts so gradients
+    /// accumulate into the same leaves.
+    pub fn bind(&self, tape: &mut Tape) -> Bindings {
+        self.params.bind(tape)
+    }
+
+    /// Differentiable rollout on `tape` using parameters bound by
+    /// [`bind`](PtrNetPolicy::bind).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` does not match `dag` and the embedding config.
+    pub fn rollout(
+        &self,
+        tape: &mut Tape,
+        bindings: &Bindings,
+        dag: &Dag,
+        features: &Matrix,
+        mode: &mut DecodeMode,
+    ) -> Rollout {
+        let n = dag.len();
+        assert_eq!(
+            features.shape(),
+            (self.config.embedding.feature_dim(), n),
+            "feature matrix shape"
+        );
+        let enc = LstmSpec::new("enc", self.config.hidden, self.config.hidden).bind(bindings);
+        let dec = LstmSpec::new("dec", self.config.hidden, self.config.hidden).bind(bindings);
+        let glimpse = AttentionSpec::new("glimpse", self.config.hidden).bind(bindings);
+        let pointer = AttentionSpec::new("pointer", self.config.hidden).bind(bindings);
+        let proj_w = bindings.var("proj.w");
+
+        // project embeddings and encode
+        let feats = tape.leaf(features.clone());
+        let projected = tape.matmul(proj_w, feats); // [h, n]
+        let xs: Vec<Var> = (0..n).map(|i| tape.slice_col(projected, i)).collect();
+        let s0 = enc.zero_state(tape);
+        let (hs, enc_last) = enc.run(tape, &xs, s0);
+        let context = tape.concat_cols(&hs); // [h, n]
+        let proj_g = glimpse.project_context(tape, context);
+        let proj_p = pointer.project_context(tape, context);
+
+        // decode with pointing
+        let mut mask = self.mask_init(dag);
+        let mut state = enc_last;
+        let mut d = bindings.var("dec0");
+        let mut sequence = Vec::with_capacity(n);
+        let mut log_prob_total: Option<Var> = None;
+        for _ in 0..n {
+            state = dec.step(tape, d, state);
+            let g = glimpse.glimpse(tape, context, proj_g, state.h, mask.as_slice());
+            let scores = pointer.scores(tape, proj_p, g);
+            let logp = tape.log_softmax_masked(scores, mask.as_slice());
+            let idx = match mode {
+                DecodeMode::Greedy => argmax_unmasked(tape.value(logp), mask.as_slice()),
+                DecodeMode::Sample(rng) => sample_unmasked(tape.value(logp), mask.as_slice(), rng),
+            };
+            let lp = tape.pick(logp, idx);
+            log_prob_total = Some(match log_prob_total {
+                None => lp,
+                Some(acc) => tape.add(acc, lp),
+            });
+            let v = NodeId(idx as u32);
+            sequence.push(v);
+            mask.emit(dag, v);
+            d = xs[idx];
+        }
+        Rollout {
+            sequence,
+            log_prob: log_prob_total.expect("graphs are nonempty"),
+        }
+    }
+
+    /// Gradient-free greedy/sampled decode for deployment (fast path).
+    pub fn decode(&self, dag: &Dag, features: &Matrix, mode: &mut DecodeMode) -> Vec<NodeId> {
+        let n = dag.len();
+        let h = self.config.hidden;
+        let p = |name: &str| self.params.get(name).expect("registered weight");
+        let proj = p("proj.w").matmul(features); // [h, n]
+
+        // encoder
+        let w_enc = p("enc.w");
+        let b_enc = p("enc.b");
+        let mut hx = Matrix::zeros(h, 1);
+        let mut cx = Matrix::zeros(h, 1);
+        let mut context = Matrix::zeros(h, n);
+        for i in 0..n {
+            let x = column(&proj, i);
+            let (nh, nc) = lstm_step_raw(w_enc, b_enc, &x, &hx, &cx, h);
+            for r in 0..h {
+                context.set(r, i, nh.get(r, 0));
+            }
+            hx = nh;
+            cx = nc;
+        }
+        let g_ref = p("glimpse.w_ref").matmul(&context);
+        let p_ref = p("pointer.w_ref").matmul(&context);
+
+        // decoder
+        let w_dec = p("dec.w");
+        let b_dec = p("dec.b");
+        let mut mask = self.mask_init(dag);
+        let mut d = p("dec0").clone();
+        let mut sequence = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (nh, nc) = lstm_step_raw(w_dec, b_dec, &d, &hx, &cx, h);
+            hx = nh;
+            cx = nc;
+            // glimpse
+            let gu = attention_scores_raw(
+                &g_ref,
+                p("glimpse.w_q"),
+                p("glimpse.v"),
+                p("glimpse.b"),
+                &hx,
+            );
+            let gprobs = masked_softmax(&gu, mask.as_slice());
+            let g = context.matmul(&gprobs);
+            // pointer
+            let u = attention_scores_raw(
+                &p_ref,
+                p("pointer.w_q"),
+                p("pointer.v"),
+                p("pointer.b"),
+                &g,
+            );
+            let idx = match mode {
+                DecodeMode::Greedy => argmax_unmasked(&u, mask.as_slice()),
+                DecodeMode::Sample(rng) => {
+                    let probs = masked_softmax(&u, mask.as_slice());
+                    sample_probs(&probs, mask.as_slice(), rng)
+                }
+            };
+            let v = NodeId(idx as u32);
+            sequence.push(v);
+            mask.emit(dag, v);
+            d = column(&proj, idx);
+        }
+        sequence
+    }
+}
+
+/// Visited/ready mask bookkeeping shared by both decode paths.
+/// `masked[i] = visited[i] || (dependency && pending_parents[i] > 0)`.
+#[derive(Debug)]
+struct MaskState {
+    visited: Vec<bool>,
+    pending_parents: Vec<usize>,
+    dependency: bool,
+    masked: Vec<bool>,
+}
+
+impl MaskState {
+    fn new(dag: &Dag, dependency: bool) -> Self {
+        let pending: Vec<usize> = dag.node_ids().map(|v| dag.in_degree(v)).collect();
+        let masked = if dependency {
+            pending.iter().map(|&d| d > 0).collect()
+        } else {
+            vec![false; dag.len()]
+        };
+        MaskState {
+            visited: vec![false; dag.len()],
+            pending_parents: pending,
+            dependency,
+            masked,
+        }
+    }
+
+    fn as_slice(&self) -> &[bool] {
+        &self.masked
+    }
+
+    fn emit(&mut self, dag: &Dag, v: NodeId) {
+        self.visited[v.index()] = true;
+        self.masked[v.index()] = true;
+        if self.dependency {
+            for &s in dag.succs(v) {
+                self.pending_parents[s.index()] -= 1;
+                if self.pending_parents[s.index()] == 0 && !self.visited[s.index()] {
+                    self.masked[s.index()] = false;
+                }
+            }
+        }
+    }
+}
+
+fn column(m: &Matrix, i: usize) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), 1);
+    for r in 0..m.rows() {
+        out.set(r, 0, m.get(r, i));
+    }
+    out
+}
+
+fn lstm_step_raw(
+    w: &Matrix,
+    b: &Matrix,
+    x: &Matrix,
+    h: &Matrix,
+    c: &Matrix,
+    hidden: usize,
+) -> (Matrix, Matrix) {
+    let mut xin = Matrix::zeros(x.rows() + h.rows(), 1);
+    for r in 0..x.rows() {
+        xin.set(r, 0, x.get(r, 0));
+    }
+    for r in 0..h.rows() {
+        xin.set(x.rows() + r, 0, h.get(r, 0));
+    }
+    let mut z = w.matmul(&xin);
+    z.add_assign(b);
+    let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
+    let mut nh = Matrix::zeros(hidden, 1);
+    let mut nc = Matrix::zeros(hidden, 1);
+    for r in 0..hidden {
+        let i = sig(z.get(r, 0));
+        let f = sig(z.get(hidden + r, 0));
+        let g = z.get(2 * hidden + r, 0).tanh();
+        let o = sig(z.get(3 * hidden + r, 0));
+        let cv = f * c.get(r, 0) + i * g;
+        nc.set(r, 0, cv);
+        nh.set(r, 0, o * cv.tanh());
+    }
+    (nh, nc)
+}
+
+fn attention_scores_raw(
+    projected: &Matrix,
+    w_q: &Matrix,
+    v: &Matrix,
+    b: &Matrix,
+    q: &Matrix,
+) -> Matrix {
+    let mut qp = w_q.matmul(q);
+    qp.add_assign(b);
+    let n = projected.cols();
+    let h = projected.rows();
+    let mut scores = Matrix::zeros(n, 1);
+    let out = scores.as_mut_slice();
+    let proj = projected.as_slice();
+    // row-major sweep: contiguous access to each projection row
+    for r in 0..h {
+        let vr = v.get(r, 0);
+        let qpr = qp.get(r, 0);
+        let row = &proj[r * n..(r + 1) * n];
+        for (o, &p) in out.iter_mut().zip(row) {
+            *o += vr * (p + qpr).tanh();
+        }
+    }
+    scores
+}
+
+fn argmax_unmasked(logits: &Matrix, mask: &[bool]) -> usize {
+    let mut best = None;
+    for i in 0..logits.rows() {
+        if mask[i] {
+            continue;
+        }
+        let v = logits.get(i, 0);
+        match best {
+            None => best = Some((i, v)),
+            Some((_, bv)) if v > bv => best = Some((i, v)),
+            _ => {}
+        }
+    }
+    best.expect("at least one unmasked candidate").0
+}
+
+fn sample_unmasked(logp: &Matrix, mask: &[bool], rng: &mut StdRng) -> usize {
+    // logp already normalized: exponentiate the unmasked entries
+    let mut probs = Matrix::zeros(logp.rows(), 1);
+    for i in 0..logp.rows() {
+        if !mask[i] {
+            probs.set(i, 0, logp.get(i, 0).exp());
+        }
+    }
+    sample_probs(&probs, mask, rng)
+}
+
+fn sample_probs(probs: &Matrix, mask: &[bool], rng: &mut StdRng) -> usize {
+    let total: f32 = (0..probs.rows())
+        .filter(|&i| !mask[i])
+        .map(|i| probs.get(i, 0))
+        .sum();
+    let mut r = rng.gen_range(0.0..1.0f32) * total;
+    let mut last = None;
+    for i in 0..probs.rows() {
+        if mask[i] {
+            continue;
+        }
+        last = Some(i);
+        r -= probs.get(i, 0);
+        if r <= 0.0 {
+            return i;
+        }
+    }
+    last.expect("at least one unmasked candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::{embed, EmbeddingConfig};
+    use respect_graph::{topo, SyntheticConfig, SyntheticSampler};
+
+    fn fixture() -> (PtrNetPolicy, respect_graph::Dag, Matrix) {
+        let config = PolicyConfig {
+            hidden: 16,
+            embedding: EmbeddingConfig { max_parents: 2 },
+            dependency_masking: true,
+            seed: 11,
+        };
+        let policy = PtrNetPolicy::new(config);
+        let dag = SyntheticSampler::new(
+            SyntheticConfig {
+                num_nodes: 10,
+                ..SyntheticConfig::paper(2)
+            },
+            5,
+        )
+        .sample();
+        let feats = embed(&dag, &config.embedding);
+        (policy, dag, feats)
+    }
+
+    #[test]
+    fn greedy_decode_is_a_topological_permutation() {
+        let (policy, dag, feats) = fixture();
+        let seq = policy.decode(&dag, &feats, &mut DecodeMode::Greedy);
+        assert!(topo::is_topological_order(&dag, &seq));
+    }
+
+    #[test]
+    fn sampled_decode_is_valid_and_varies() {
+        let (policy, dag, feats) = fixture();
+        let a = policy.decode(&dag, &feats, &mut DecodeMode::sample_seeded(1));
+        let b = policy.decode(&dag, &feats, &mut DecodeMode::sample_seeded(2));
+        assert!(topo::is_topological_order(&dag, &a));
+        assert!(topo::is_topological_order(&dag, &b));
+        // with 10 nodes two seeds almost surely differ
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rollout_matches_decode_in_greedy_mode() {
+        let (policy, dag, feats) = fixture();
+        let mut tape = Tape::new();
+        let bindings = policy.bind(&mut tape);
+        let rollout = policy.rollout(&mut tape, &bindings, &dag, &feats, &mut DecodeMode::Greedy);
+        let raw = policy.decode(&dag, &feats, &mut DecodeMode::Greedy);
+        assert_eq!(rollout.sequence, raw, "tape and raw paths must agree");
+    }
+
+    #[test]
+    fn rollout_log_prob_is_negative_and_differentiable() {
+        let (policy, dag, feats) = fixture();
+        let mut tape = Tape::new();
+        let bindings = policy.bind(&mut tape);
+        let rollout =
+            policy.rollout(&mut tape, &bindings, &dag, &feats, &mut DecodeMode::Greedy);
+        let lp = tape.value(rollout.log_prob).get(0, 0);
+        assert!(lp < 0.0, "log prob of a 10-step decode must be < 0");
+        let loss = tape.scale(rollout.log_prob, -1.0);
+        tape.backward(loss);
+        let g = bindings.grads(&tape);
+        let total: f32 = g.iter().map(|m| m.max_abs()).sum();
+        assert!(total > 0.0, "gradients must reach the parameters");
+    }
+
+    #[test]
+    fn without_dependency_masking_sequence_is_a_permutation() {
+        let (policy, dag, feats) = fixture();
+        let config = PolicyConfig {
+            dependency_masking: false,
+            ..*policy.config()
+        };
+        let policy = PtrNetPolicy::new(config);
+        let seq = policy.decode(&dag, &feats, &mut DecodeMode::Greedy);
+        let mut sorted: Vec<_> = seq.iter().map(|v| v.index()).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..dag.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn generalizes_to_larger_graphs_than_trained_shape() {
+        let (policy, _, _) = fixture();
+        let big = SyntheticSampler::new(
+            SyntheticConfig {
+                num_nodes: 60,
+                ..SyntheticConfig::paper(3)
+            },
+            9,
+        )
+        .sample();
+        let feats = embed(&big, &policy.config().embedding);
+        let seq = policy.decode(&big, &feats, &mut DecodeMode::Greedy);
+        assert!(topo::is_topological_order(&big, &seq));
+    }
+
+    #[test]
+    fn deterministic_weights_per_seed() {
+        let a = PtrNetPolicy::new(PolicyConfig::small(8));
+        let b = PtrNetPolicy::new(PolicyConfig::small(8));
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn paper_config_uses_256_cells() {
+        let c = PolicyConfig::paper();
+        assert_eq!(c.hidden, 256);
+        assert!(c.dependency_masking);
+    }
+}

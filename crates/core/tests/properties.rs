@@ -1,0 +1,68 @@
+//! Property-based tests of the RL framework: decodes are always valid
+//! permutations, rewards are bounded, and the end-to-end scheduler never
+//! emits an illegal schedule — over random graphs and stage counts.
+
+use proptest::prelude::*;
+use respect_core::embedding::embed;
+use respect_core::reward::{cosine_similarity, sequence_reward, stage_vector};
+use respect_core::{DecodeMode, PolicyConfig, PtrNetPolicy, RespectScheduler};
+use respect_graph::{topo, SyntheticConfig, SyntheticSampler};
+use respect_sched::{exact::ExactScheduler, CostModel, Scheduler};
+
+fn sample(nodes: usize, deg: usize, seed: u64) -> respect_graph::Dag {
+    let cfg = SyntheticConfig {
+        num_nodes: nodes,
+        max_in_degree: deg,
+        ..SyntheticConfig::default()
+    };
+    SyntheticSampler::new(cfg, seed).sample()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decode_is_always_a_topological_permutation(
+        seed in 0u64..2_000,
+        deg in 2usize..=6,
+        nodes in 5usize..25,
+        mode_seed in 0u64..100,
+    ) {
+        let policy = PtrNetPolicy::new(PolicyConfig::small(8));
+        let dag = sample(nodes, deg, seed);
+        let feats = embed(&dag, &policy.config().embedding);
+        for mode in [&mut DecodeMode::Greedy, &mut DecodeMode::sample_seeded(mode_seed)] {
+            let pi = policy.decode(&dag, &feats, mode);
+            prop_assert!(topo::is_topological_order(&dag, &pi));
+        }
+    }
+
+    #[test]
+    fn respect_scheduler_is_always_valid(
+        seed in 0u64..2_000,
+        stages in 1usize..7,
+    ) {
+        let policy = PtrNetPolicy::new(PolicyConfig::small(8));
+        let scheduler = RespectScheduler::new(policy);
+        let dag = sample(12, 3, seed);
+        let s = scheduler.schedule(&dag, stages).unwrap();
+        prop_assert!(s.is_valid(&dag));
+        prop_assert_eq!(s.num_stages(), stages);
+    }
+
+    #[test]
+    fn rewards_are_bounded_and_teacher_consistent(seed in 0u64..500) {
+        let model = CostModel::coral();
+        let dag = sample(12, 3, seed);
+        let sol = ExactScheduler::new(model)
+            .with_warmstart_moves(100)
+            .solve(&dag, 3)
+            .unwrap();
+        let gamma = sol.schedule.to_sequence(&dag);
+        let r = sequence_reward(&dag, &gamma, &sol.schedule, &model);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r));
+        // cosine of the teacher's own stage vector with itself is 1
+        let sv = stage_vector(&sol.schedule);
+        prop_assert!((cosine_similarity(&sv, &sv) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Graphviz (DOT) export of computational graphs and schedules.
+
+use std::fmt::Write as _;
+
+use crate::dag::{Dag, OpKind};
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Nodes are labelled `name\nkind, params`, optionally colored per stage
+/// when `stage_of` is provided (one stage index per node, as produced by
+/// the schedulers in `respect-sched`).
+///
+/// # Example
+///
+/// ```
+/// use respect_graph::{dot, models};
+/// let text = dot::to_dot(&models::xception(), None);
+/// assert!(text.starts_with("digraph"));
+/// ```
+pub fn to_dot(dag: &Dag, stage_of: Option<&[usize]>) -> String {
+    const PALETTE: &[&str] = &[
+        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+    ];
+    let mut out = String::with_capacity(dag.len() * 64);
+    out.push_str("digraph dnn {\n  rankdir=TB;\n  node [shape=box, style=filled];\n");
+    for (id, node) in dag.iter() {
+        let fill = match stage_of {
+            Some(stages) => PALETTE[stages[id.index()] % PALETTE.len()],
+            None => match node.kind {
+                OpKind::Input | OpKind::Output => "#dddddd",
+                OpKind::Add | OpKind::Concat => "#fdbf6f",
+                _ => "#a6cee3",
+            },
+        };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{} {}B\", fillcolor=\"{}\"];",
+            id.index(),
+            node.name,
+            node.kind,
+            node.param_bytes,
+            fill
+        );
+    }
+    for (u, v) in dag.edges() {
+        let _ = writeln!(out, "  {} -> {};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{DagBuilder, OpNode};
+
+    fn tiny() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(OpNode::new("in", OpKind::Input));
+        let c = b.add_node(OpNode::new("conv", OpKind::Conv2d).with_params(64));
+        b.add_edge(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let text = to_dot(&tiny(), None);
+        assert!(text.contains("digraph"));
+        assert!(text.contains("0 -> 1;"));
+        assert!(text.contains("conv"));
+    }
+
+    #[test]
+    fn stage_coloring_uses_palette() {
+        let text = to_dot(&tiny(), Some(&[0, 1]));
+        assert!(text.contains("#a6cee3"));
+        assert!(text.contains("#b2df8a"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type for DAG construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::dag::NodeId;
+
+/// Errors produced while building or querying a [`crate::Dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The edge set contains a cycle; computational graphs must be acyclic
+    /// (paper, Sec. II: acyclic paths are unrolled before deployment).
+    Cycle,
+    /// An edge `(u, u)` was inserted.
+    SelfLoop(NodeId),
+    /// The same edge was inserted twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// An endpoint refers to a node that was never added.
+    NodeOutOfRange(NodeId),
+    /// The graph has no nodes; every experiment needs at least one operator.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cycle => write!(f, "edge set contains a cycle"),
+            GraphError::SelfLoop(n) => write!(f, "self loop on node {n}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {u} -> {v}"),
+            GraphError::NodeOutOfRange(n) => write!(f, "node {n} is out of range"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,217 @@
+//! Topological analyses used throughout the workspace.
+//!
+//! The paper's graph embedding (Sec. III-A) encodes each node's **absolute
+//! coordinate**, its As-Soon-As-Possible topological level, plus its
+//! parents' levels; schedulers additionally use ALAP levels and mobility
+//! (the force-directed scheduler's slack).
+
+use crate::dag::{Dag, NodeId};
+
+/// Deterministic topological order (Kahn, smallest ready id first).
+///
+/// # Example
+///
+/// ```
+/// use respect_graph::{models, topo};
+/// let dag = models::xception();
+/// let order = topo::topo_order(&dag);
+/// assert_eq!(order.len(), dag.len());
+/// assert!(topo::is_topological_order(&dag, &order));
+/// ```
+pub fn topo_order(dag: &Dag) -> Vec<NodeId> {
+    // Re-run Kahn via ASAP levels to avoid exposing the crate-private
+    // helper; order by (level, id) which is a valid topological order.
+    let levels = asap_levels(dag);
+    let mut order: Vec<NodeId> = dag.node_ids().collect();
+    order.sort_by_key(|&v| (levels[v.index()], v));
+    order
+}
+
+/// Checks that `order` is a permutation of the nodes respecting all edges.
+pub fn is_topological_order(dag: &Dag, order: &[NodeId]) -> bool {
+    if order.len() != dag.len() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; dag.len()];
+    for (i, &v) in order.iter().enumerate() {
+        if v.index() >= dag.len() || pos[v.index()] != usize::MAX {
+            return false;
+        }
+        pos[v.index()] = i;
+    }
+    dag.edges().all(|(u, v)| pos[u.index()] < pos[v.index()])
+}
+
+/// ASAP (as-soon-as-possible) level of every node.
+///
+/// Sources sit at level 0; every other node sits one past its deepest
+/// parent. This is the paper's "absolute coordinate" embedding column.
+pub fn asap_levels(dag: &Dag) -> Vec<usize> {
+    let mut levels = vec![0usize; dag.len()];
+    // Node ids are not topologically sorted in general, so propagate over
+    // an explicit topological order.
+    for u in kahn(dag) {
+        for &v in dag.succs(u) {
+            levels[v.index()] = levels[v.index()].max(levels[u.index()] + 1);
+        }
+    }
+    levels
+}
+
+/// ALAP (as-late-as-possible) level of every node, with the sink pinned to
+/// the graph depth so ASAP ≤ ALAP holds node-wise.
+pub fn alap_levels(dag: &Dag) -> Vec<usize> {
+    let depth = dag.depth();
+    let mut levels = vec![depth; dag.len()];
+    let order = kahn(dag);
+    for &u in order.iter().rev() {
+        for &v in dag.succs(u) {
+            levels[u.index()] = levels[u.index()].min(levels[v.index()] - 1);
+        }
+    }
+    levels
+}
+
+/// Mobility (ALAP − ASAP slack) of every node; zero on every critical path.
+pub fn mobility(dag: &Dag) -> Vec<usize> {
+    asap_levels(dag)
+        .into_iter()
+        .zip(alap_levels(dag))
+        .map(|(a, l)| l - a)
+        .collect()
+}
+
+/// Longest path (in edges) from each node to any sink, i.e. Hu's algorithm
+/// priority labels.
+pub fn height_to_sink(dag: &Dag) -> Vec<usize> {
+    let mut h = vec![0usize; dag.len()];
+    let order = kahn(dag);
+    for &u in order.iter().rev() {
+        for &v in dag.succs(u) {
+            h[u.index()] = h[u.index()].max(h[v.index()] + 1);
+        }
+    }
+    h
+}
+
+fn kahn(dag: &Dag) -> Vec<NodeId> {
+    let n = dag.len();
+    let mut indeg: Vec<usize> = (0..n).map(|i| dag.in_degree(NodeId(i as u32))).collect();
+    let mut stack: Vec<NodeId> = (0..n as u32)
+        .map(NodeId)
+        .filter(|&v| indeg[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &v in dag.succs(u) {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{DagBuilder, OpKind, OpNode};
+
+    /// a -> b -> d; a -> c -> d; c -> e (e is a second sink).
+    fn fixture() -> Dag {
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| b.add_node(OpNode::new(format!("n{i}"), OpKind::Other)))
+            .collect();
+        b.add_edge(ids[0], ids[1]).unwrap();
+        b.add_edge(ids[0], ids[2]).unwrap();
+        b.add_edge(ids[1], ids[3]).unwrap();
+        b.add_edge(ids[2], ids[3]).unwrap();
+        b.add_edge(ids[2], ids[4]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn asap_matches_hand_computation() {
+        assert_eq!(asap_levels(&fixture()), vec![0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn alap_matches_hand_computation() {
+        // depth = 2; e could run at level 2, b at level 1.
+        assert_eq!(alap_levels(&fixture()), vec![0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn mobility_zero_on_critical_path() {
+        let m = mobility(&fixture());
+        assert!(m.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn mobility_positive_off_critical_path() {
+        // chain a->b->c plus a shortcut node d: a->d->c lengthened chain
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..4)
+            .map(|i| b.add_node(OpNode::new(format!("n{i}"), OpKind::Other)))
+            .collect();
+        b.add_edge(ids[0], ids[1]).unwrap();
+        b.add_edge(ids[1], ids[2]).unwrap();
+        b.add_edge(ids[2], ids[3]).unwrap();
+        // side node: a -> side -> d (path length 2 vs 3)
+        let side = {
+            let mut b2 = DagBuilder::new();
+            let ids2: Vec<_> = (0..5)
+                .map(|i| b2.add_node(OpNode::new(format!("m{i}"), OpKind::Other)))
+                .collect();
+            b2.add_edge(ids2[0], ids2[1]).unwrap();
+            b2.add_edge(ids2[1], ids2[2]).unwrap();
+            b2.add_edge(ids2[2], ids2[3]).unwrap();
+            b2.add_edge(ids2[0], ids2[4]).unwrap();
+            b2.add_edge(ids2[4], ids2[3]).unwrap();
+            b2.build().unwrap()
+        };
+        let m = mobility(&side);
+        assert_eq!(m[4], 1, "bypass node has one level of slack");
+        assert_eq!(m[0], 0);
+        assert_eq!(m[3], 0);
+        drop(b);
+    }
+
+    #[test]
+    fn topo_order_is_valid_and_deterministic() {
+        let d = fixture();
+        let o1 = topo_order(&d);
+        let o2 = topo_order(&d);
+        assert_eq!(o1, o2);
+        assert!(is_topological_order(&d, &o1));
+    }
+
+    #[test]
+    fn is_topological_order_rejects_violations() {
+        let d = fixture();
+        let mut order = topo_order(&d);
+        order.swap(0, 4);
+        assert!(!is_topological_order(&d, &order));
+        // wrong length
+        assert!(!is_topological_order(&d, &order[..3]));
+        // duplicate entry
+        let dup = vec![order[0]; d.len()];
+        assert!(!is_topological_order(&d, &dup));
+    }
+
+    #[test]
+    fn height_to_sink_matches_hand_computation() {
+        assert_eq!(height_to_sink(&fixture()), vec![2, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn asap_le_alap_everywhere() {
+        let d = fixture();
+        let a = asap_levels(&d);
+        let l = alap_levels(&d);
+        assert!(a.iter().zip(&l).all(|(x, y)| x <= y));
+    }
+}

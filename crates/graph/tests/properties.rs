@@ -1,0 +1,60 @@
+//! Property-based tests of the graph substrate: every sampled DAG, over
+//! the whole configuration space the paper trains on, must satisfy the
+//! structural invariants the schedulers rely on.
+
+use proptest::prelude::*;
+use respect_graph::{topo, SyntheticConfig, SyntheticSampler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sampled_dags_satisfy_all_invariants(
+        nodes in 2usize..40,
+        deg in 2usize..=6,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = SyntheticConfig {
+            num_nodes: nodes,
+            max_in_degree: deg,
+            ..SyntheticConfig::default()
+        };
+        let dag = SyntheticSampler::new(cfg, seed).sample();
+        prop_assert_eq!(dag.len(), nodes);
+        prop_assert!(dag.max_in_degree() <= deg);
+        // acyclic + total coverage
+        let order = topo::topo_order(&dag);
+        prop_assert!(topo::is_topological_order(&dag, &order));
+        // connected: every non-root node has a parent
+        for v in dag.node_ids().skip(1) {
+            prop_assert!(dag.in_degree(v) >= 1);
+        }
+    }
+
+    #[test]
+    fn asap_alap_height_are_consistent(seed in 0u64..10_000) {
+        let dag = SyntheticSampler::new(SyntheticConfig::paper(4), seed).sample();
+        let asap = topo::asap_levels(&dag);
+        let alap = topo::alap_levels(&dag);
+        let height = topo::height_to_sink(&dag);
+        let depth = dag.depth();
+        for v in dag.node_ids() {
+            let i = v.index();
+            prop_assert!(asap[i] <= alap[i], "asap <= alap at {v}");
+            prop_assert!(alap[i] <= depth);
+            // a node's earliest start plus its downstream chain fits
+            prop_assert!(asap[i] + height[i] <= depth, "critical path bound at {v}");
+        }
+        // some node realizes the depth
+        prop_assert!(dag.node_ids().any(|v| asap[v.index()] + height[v.index()] == depth));
+    }
+
+    #[test]
+    fn edges_always_go_up_in_asap_level(seed in 0u64..10_000, deg in 2usize..=6) {
+        let dag = SyntheticSampler::new(SyntheticConfig::paper(deg), seed).sample();
+        let asap = topo::asap_levels(&dag);
+        for (u, v) in dag.edges() {
+            prop_assert!(asap[u.index()] < asap[v.index()]);
+        }
+    }
+}

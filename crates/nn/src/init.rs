@@ -1,0 +1,44 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::tensor::Matrix;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    uniform(rows, cols, a, rng)
+}
+
+/// Uniform initialization `U(-scale, scale)`.
+pub fn uniform(rows: usize, cols: usize, scale: f32, rng: &mut impl Rng) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-scale..=scale))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(16, 48, &mut rng);
+        let a = (6.0f64 / 64.0).sqrt() as f32;
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+        // not degenerate
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = uniform(3, 3, 0.5, &mut StdRng::seed_from_u64(9));
+        let b = uniform(3, 3, 0.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,229 @@
+//! LSTM cells, the building block of the paper's encoder and decoder
+//! networks (Fig. 1b: both are "LSTMs with 256 cells").
+//!
+//! Weights use the fused-gate layout `W ∈ R^{4h x (in + h)}`, gate order
+//! `[input, forget, cell, output]`, with the forget-gate bias initialized
+//! to 1 (standard practice for stable early training).
+
+use rand::Rng;
+
+use crate::init;
+use crate::params::{Bindings, Params};
+use crate::tape::{Tape, Var};
+use crate::tensor::Matrix;
+
+/// Static description of an LSTM cell: sizes plus a parameter-name prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LstmSpec {
+    /// Input vector size.
+    pub input: usize,
+    /// Hidden/cell state size (the paper uses 256).
+    pub hidden: usize,
+    /// Parameter-name prefix, e.g. `"encoder"`.
+    pub name: String,
+}
+
+impl LstmSpec {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, input: usize, hidden: usize) -> Self {
+        LstmSpec {
+            input,
+            hidden,
+            name: name.into(),
+        }
+    }
+
+    fn w_name(&self) -> String {
+        format!("{}.w", self.name)
+    }
+
+    fn b_name(&self) -> String {
+        format!("{}.b", self.name)
+    }
+
+    /// Registers this cell's weights (`<name>.w`, `<name>.b`) in `params`.
+    pub fn register(&self, params: &mut Params, rng: &mut impl Rng) {
+        let w = init::xavier_uniform(4 * self.hidden, self.input + self.hidden, rng);
+        let mut b = Matrix::zeros(4 * self.hidden, 1);
+        for i in self.hidden..2 * self.hidden {
+            b.set(i, 0, 1.0); // forget-gate bias
+        }
+        params.insert(self.w_name(), w);
+        params.insert(self.b_name(), b);
+    }
+
+    /// Binds the registered weights on a tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`register`](LstmSpec::register) was not called on the
+    /// `Params` these bindings came from.
+    pub fn bind(&self, bindings: &Bindings) -> LstmCell {
+        LstmCell {
+            w: bindings.var(&self.w_name()),
+            b: bindings.var(&self.b_name()),
+            hidden: self.hidden,
+        }
+    }
+}
+
+/// An LSTM cell bound to one tape (weights as tape variables).
+#[derive(Debug, Clone, Copy)]
+pub struct LstmCell {
+    w: Var,
+    b: Var,
+    hidden: usize,
+}
+
+/// Hidden and cell state of an LSTM.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state `h`.
+    pub h: Var,
+    /// Cell state `c`.
+    pub c: Var,
+}
+
+impl LstmCell {
+    /// Hidden size of the cell.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// All-zero initial state.
+    pub fn zero_state(&self, tape: &mut Tape) -> LstmState {
+        LstmState {
+            h: tape.leaf(Matrix::zeros(self.hidden, 1)),
+            c: tape.leaf(Matrix::zeros(self.hidden, 1)),
+        }
+    }
+
+    /// One step: consumes input column `x`, returns the next state.
+    ///
+    /// # Panics
+    ///
+    /// Panics (inside tape ops) if `x` does not match the spec's input
+    /// size.
+    pub fn step(&self, tape: &mut Tape, x: Var, state: LstmState) -> LstmState {
+        let h = self.hidden;
+        let xin = tape.concat_rows(x, state.h);
+        let z0 = tape.matmul(self.w, xin);
+        let z = tape.add(z0, self.b);
+        let i = tape.slice_rows(z, 0, h);
+        let f = tape.slice_rows(z, h, h);
+        let g = tape.slice_rows(z, 2 * h, h);
+        let o = tape.slice_rows(z, 3 * h, h);
+        let ig = tape.sigmoid(i);
+        let fg = tape.sigmoid(f);
+        let gg = tape.tanh(g);
+        let og = tape.sigmoid(o);
+        let fc = tape.mul_elem(fg, state.c);
+        let igg = tape.mul_elem(ig, gg);
+        let c = tape.add(fc, igg);
+        let ct = tape.tanh(c);
+        let hn = tape.mul_elem(og, ct);
+        LstmState { h: hn, c }
+    }
+
+    /// Runs the cell over a sequence of inputs, returning every hidden
+    /// state and the final state.
+    pub fn run(
+        &self,
+        tape: &mut Tape,
+        inputs: &[Var],
+        init: LstmState,
+    ) -> (Vec<Var>, LstmState) {
+        let mut state = init;
+        let mut hs = Vec::with_capacity(inputs.len());
+        for &x in inputs {
+            state = self.step(tape, x, state);
+            hs.push(state.h);
+        }
+        (hs, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(input: usize, hidden: usize) -> (Params, LstmSpec) {
+        let spec = LstmSpec::new("test", input, hidden);
+        let mut params = Params::new();
+        spec.register(&mut params, &mut StdRng::seed_from_u64(3));
+        (params, spec)
+    }
+
+    #[test]
+    fn register_creates_expected_shapes() {
+        let (params, _) = setup(5, 8);
+        assert_eq!(params.get("test.w").unwrap().shape(), (32, 13));
+        assert_eq!(params.get("test.b").unwrap().shape(), (32, 1));
+        // forget-gate bias block is ones
+        let b = params.get("test.b").unwrap();
+        assert_eq!(b.get(8, 0), 1.0);
+        assert_eq!(b.get(0, 0), 0.0);
+        assert_eq!(b.get(16, 0), 0.0);
+    }
+
+    #[test]
+    fn step_produces_bounded_outputs() {
+        let (params, spec) = setup(4, 6);
+        let mut tape = Tape::new();
+        let binds = params.bind(&mut tape);
+        let cell = spec.bind(&binds);
+        let x = tape.leaf(Matrix::col_from_slice(&[1.0, -2.0, 0.5, 3.0]));
+        let s0 = cell.zero_state(&mut tape);
+        let s1 = cell.step(&mut tape, x, s0);
+        let h = tape.value(s1.h);
+        assert_eq!(h.shape(), (6, 1));
+        // h = o * tanh(c) is in (-1, 1)
+        assert!(h.as_slice().iter().all(|&v| v.abs() < 1.0));
+        // state actually moved
+        assert!(h.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn run_threads_state_through_sequence() {
+        let (params, spec) = setup(2, 4);
+        let mut tape = Tape::new();
+        let binds = params.bind(&mut tape);
+        let cell = spec.bind(&binds);
+        let xs: Vec<Var> = (0..3)
+            .map(|i| tape.leaf(Matrix::col_from_slice(&[i as f32, 1.0])))
+            .collect();
+        let s0 = cell.zero_state(&mut tape);
+        let (hs, last) = cell.run(&mut tape, &xs, s0);
+        assert_eq!(hs.len(), 3);
+        assert_eq!(hs[2], last.h);
+        // successive hidden states differ (the cell is not a no-op)
+        assert_ne!(tape.value(hs[0]), tape.value(hs[1]));
+    }
+
+    #[test]
+    fn gradients_flow_to_lstm_weights() {
+        let (params, spec) = setup(3, 5);
+        let mut tape = Tape::new();
+        let binds = params.bind(&mut tape);
+        let cell = spec.bind(&binds);
+        let x = tape.leaf(Matrix::col_from_slice(&[0.3, -0.2, 0.9]));
+        let s0 = cell.zero_state(&mut tape);
+        let s1 = cell.step(&mut tape, x, s0);
+        let s2 = cell.step(&mut tape, x, s1);
+        let loss = tape.sum(s2.h);
+        tape.backward(loss);
+        let gw = tape.grad(binds.var("test.w"));
+        assert!(gw.max_abs() > 0.0, "weight gradient must be nonzero");
+        let gb = tape.grad(binds.var("test.b"));
+        assert!(gb.max_abs() > 0.0, "bias gradient must be nonzero");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (p1, _) = setup(3, 5);
+        let (p2, _) = setup(3, 5);
+        assert_eq!(p1, p2);
+    }
+}

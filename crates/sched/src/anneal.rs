@@ -1,0 +1,237 @@
+//! Simulated annealing over (sequence, cuts) — the "iterative
+//! metaheuristics" family the paper positions between heuristics and exact
+//! solvers (Sec. II).
+//!
+//! The state is a topological order plus `num_stages - 1` cut positions.
+//! Moves: shift one cut by one node, or swap two adjacent sequence nodes
+//! when no edge forbids it. Acceptance follows the Metropolis rule with a
+//! geometric temperature schedule. Also used to tighten the exact solver's
+//! initial upper bound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use respect_graph::{Dag, NodeId};
+
+use crate::cost::CostModel;
+use crate::order;
+use crate::pack;
+use crate::schedule::{Schedule, ScheduleError};
+use crate::Scheduler;
+
+/// Simulated-annealing pipeline scheduler.
+#[derive(Debug, Clone)]
+pub struct Annealing {
+    model: CostModel,
+    /// Number of proposed moves.
+    pub iterations: usize,
+    /// Initial temperature as a fraction of the initial objective.
+    pub init_temp_frac: f64,
+    /// Geometric cooling factor applied every iteration.
+    pub cooling: f64,
+    /// RNG seed (annealing is deterministic per seed).
+    pub seed: u64,
+}
+
+impl Annealing {
+    /// Creates an annealer with sensible defaults (5 000 moves).
+    pub fn new(model: CostModel) -> Self {
+        Annealing {
+            model,
+            iterations: 5_000,
+            init_temp_frac: 0.2,
+            cooling: 0.999,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Overrides the move budget.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+struct State {
+    sequence: Vec<NodeId>,
+    cuts: Vec<usize>,
+}
+
+impl State {
+    fn schedule(&self, num_stages: usize) -> Schedule {
+        Schedule::from_cuts(&self.sequence, &self.cuts, num_stages)
+    }
+}
+
+impl Scheduler for Annealing {
+    fn name(&self) -> &str {
+        "simulated annealing"
+    }
+
+    fn schedule(&self, dag: &Dag, num_stages: usize) -> Result<Schedule, ScheduleError> {
+        if num_stages == 0 {
+            return Err(ScheduleError::NoStages);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Start from the packing-DP solution on the default order.
+        let (init, init_obj) = pack::pack_default(dag, num_stages, &self.model);
+        let sequence = order::default_order(dag);
+        let pos = order::positions(dag, &sequence);
+        let mut cuts = vec![0usize; num_stages - 1];
+        {
+            // recover cut positions from the packed schedule
+            let mut counts = vec![0usize; num_stages];
+            for &s in init.stage_of() {
+                counts[s] += 1;
+            }
+            let mut acc = 0;
+            for k in 0..num_stages - 1 {
+                acc += counts[k];
+                cuts[k] = acc;
+            }
+        }
+        let mut state = State { sequence, cuts };
+        let mut pos = pos;
+
+        let mut cur_obj = init_obj;
+        let mut best = state.schedule(num_stages);
+        let mut best_obj = cur_obj;
+        let mut temp = (init_obj * self.init_temp_frac).max(f64::MIN_POSITIVE);
+
+        let n = dag.len();
+        for _ in 0..self.iterations {
+            enum Move {
+                Cut { idx: usize, to: usize },
+                Swap { i: usize },
+            }
+            let mv = if num_stages > 1 && rng.gen_bool(0.5) {
+                let idx = rng.gen_range(0..state.cuts.len());
+                let lo = if idx == 0 { 0 } else { state.cuts[idx - 1] };
+                let hi = if idx + 1 == state.cuts.len() {
+                    n
+                } else {
+                    state.cuts[idx + 1]
+                };
+                let delta: isize = if rng.gen_bool(0.5) { 1 } else { -1 };
+                let to = state.cuts[idx].saturating_add_signed(delta).clamp(lo, hi);
+                if to == state.cuts[idx] {
+                    continue;
+                }
+                Move::Cut { idx, to }
+            } else {
+                if n < 2 {
+                    continue;
+                }
+                let i = rng.gen_range(0..n - 1);
+                let (u, v) = (state.sequence[i], state.sequence[i + 1]);
+                if dag.has_edge(u, v) {
+                    continue; // swap would break the topological order
+                }
+                Move::Swap { i }
+            };
+
+            // apply, remembering how to undo
+            let undo = match &mv {
+                Move::Cut { idx, to } => {
+                    let old = state.cuts[*idx];
+                    state.cuts[*idx] = *to;
+                    Some(old)
+                }
+                Move::Swap { i } => {
+                    state.sequence.swap(*i, *i + 1);
+                    pos[state.sequence[*i].index()] = *i;
+                    pos[state.sequence[*i + 1].index()] = *i + 1;
+                    None
+                }
+            };
+            let cand = state.schedule(num_stages);
+            let cand_obj = self.model.objective(dag, &cand);
+            let accept = cand_obj <= cur_obj
+                || rng.gen_bool(((cur_obj - cand_obj) / temp).exp().clamp(0.0, 1.0));
+            if accept {
+                cur_obj = cand_obj;
+                if cand_obj < best_obj {
+                    best_obj = cand_obj;
+                    best = cand;
+                }
+            } else {
+                match (&mv, undo) {
+                    (Move::Cut { idx, .. }, Some(old)) => state.cuts[*idx] = old,
+                    (Move::Swap { i }, _) => {
+                        state.sequence.swap(*i, *i + 1);
+                        pos[state.sequence[*i].index()] = *i;
+                        pos[state.sequence[*i + 1].index()] = *i + 1;
+                    }
+                    (Move::Cut { .. }, None) => unreachable!("cut moves always store undo"),
+                }
+            }
+            temp *= self.cooling;
+        }
+        let _ = pos;
+        debug_assert!(best.is_valid(dag));
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respect_graph::{models, SyntheticConfig, SyntheticSampler};
+
+    #[test]
+    fn annealing_never_worse_than_its_init() {
+        let model = CostModel::coral();
+        let annealer = Annealing::new(model).with_iterations(500);
+        let mut sampler = SyntheticSampler::new(SyntheticConfig::paper(3), 41);
+        for _ in 0..5 {
+            let dag = sampler.sample();
+            let (_, init_obj) = pack::pack_default(&dag, 4, &model);
+            let s = annealer.schedule(&dag, 4).unwrap();
+            assert!(s.is_valid(&dag));
+            assert!(model.objective(&dag, &s) <= init_obj + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = CostModel::coral();
+        let dag = models::xception();
+        let a = Annealing::new(model)
+            .with_iterations(300)
+            .with_seed(1)
+            .schedule(&dag, 4)
+            .unwrap();
+        let b = Annealing::new(model)
+            .with_iterations(300)
+            .with_seed(1)
+            .schedule(&dag, 4)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_zero_stages() {
+        let dag = models::xception();
+        assert!(matches!(
+            Annealing::new(CostModel::coral()).schedule(&dag, 0),
+            Err(ScheduleError::NoStages)
+        ));
+    }
+
+    #[test]
+    fn single_stage_is_trivial() {
+        let mut sampler = SyntheticSampler::new(SyntheticConfig::paper(2), 3);
+        let dag = sampler.sample();
+        let s = Annealing::new(CostModel::coral())
+            .with_iterations(50)
+            .schedule(&dag, 1)
+            .unwrap();
+        assert!(s.stage_of().iter().all(|&x| x == 0));
+    }
+}

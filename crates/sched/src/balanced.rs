@@ -1,0 +1,202 @@
+//! The commercial Edge TPU compiler's partition heuristics.
+//!
+//! The paper-era `edgetpu_compiler --num_segments` cuts the flattened
+//! operator sequence into segments with **equal operator counts**
+//! ([`OpBalanced`]); the later "profiling-based partitioner" balances by
+//! **parameter size** ([`ParamBalanced`]). Both are blind to
+//! communication, compute balance, and the 8 MiB cache threshold — the
+//! paper reports that such heuristics degrade as the stage count grows
+//! (Sec. IV-A), which is exactly what op-count balancing does on CNNs
+//! whose late layers hold most of the weights. `respect-tpu::compile`
+//! wraps these together with the weight-processing passes that dominate
+//! the real compiler's solving time (Fig. 3).
+
+use respect_graph::Dag;
+
+use crate::order;
+use crate::schedule::{Schedule, ScheduleError};
+use crate::Scheduler;
+
+/// Operator-count-balancing contiguous partitioner — the behaviour of
+/// `edgetpu_compiler --num_segments N` at the time of the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpBalanced;
+
+impl OpBalanced {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        OpBalanced
+    }
+}
+
+impl Scheduler for OpBalanced {
+    fn name(&self) -> &str {
+        "EdgeTPU compiler (op count)"
+    }
+
+    fn schedule(&self, dag: &Dag, num_stages: usize) -> Result<Schedule, ScheduleError> {
+        if num_stages == 0 {
+            return Err(ScheduleError::NoStages);
+        }
+        let sequence = order::default_order(dag);
+        let n = sequence.len();
+        let cuts: Vec<usize> = (1..num_stages).map(|k| k * n / num_stages).collect();
+        Ok(Schedule::from_cuts(&sequence, &cuts, num_stages))
+    }
+}
+
+/// Parameter-balancing contiguous partitioner (the newer profiling-based
+/// Coral partitioner's initial guess).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParamBalanced;
+
+impl ParamBalanced {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        ParamBalanced
+    }
+}
+
+impl Scheduler for ParamBalanced {
+    fn name(&self) -> &str {
+        "EdgeTPU compiler"
+    }
+
+    fn schedule(&self, dag: &Dag, num_stages: usize) -> Result<Schedule, ScheduleError> {
+        if num_stages == 0 {
+            return Err(ScheduleError::NoStages);
+        }
+        let sequence = order::default_order(dag);
+        let total: u64 = dag.total_param_bytes();
+        let mut cuts = Vec::with_capacity(num_stages - 1);
+        let mut cum = 0u64;
+        let mut next_target = 1u64;
+        for (i, &v) in sequence.iter().enumerate() {
+            if cuts.len() + 1 == num_stages {
+                break;
+            }
+            cum += dag.node(v).param_bytes;
+            // cut as soon as the running prefix reaches k/num_stages of the
+            // total parameter volume
+            while cuts.len() + 1 < num_stages
+                && cum * num_stages as u64 >= total * next_target
+            {
+                cuts.push(i + 1);
+                next_target += 1;
+            }
+        }
+        while cuts.len() + 1 < num_stages {
+            cuts.push(sequence.len());
+        }
+        Ok(Schedule::from_cuts(&sequence, &cuts, num_stages))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use respect_graph::{models, SyntheticConfig, SyntheticSampler};
+
+    #[test]
+    fn produces_valid_schedules_for_all_models() {
+        let sched = ParamBalanced::new();
+        for (name, dag) in models::table1() {
+            for k in [4, 5, 6] {
+                let s = sched.schedule(&dag, k).unwrap();
+                assert!(s.is_valid(&dag), "{name} k={k}");
+                assert_eq!(s.num_stages(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn balances_parameters_across_stages() {
+        let dag = models::resnet101();
+        let s = ParamBalanced::new().schedule(&dag, 4).unwrap();
+        let model = CostModel::coral();
+        let res = model.stage_resources(&dag, &s);
+        let total = dag.total_param_bytes();
+        for (k, r) in res.iter().enumerate() {
+            let share = r.param_bytes as f64 / total as f64;
+            assert!(
+                share < 0.5,
+                "stage {k} holds {share:.2} of all parameters"
+            );
+        }
+        // every stage holds something
+        assert!(res.iter().all(|r| r.param_bytes > 0));
+    }
+
+    #[test]
+    fn rejects_zero_stages() {
+        let dag = models::xception();
+        assert_eq!(
+            ParamBalanced::new().schedule(&dag, 0).unwrap_err(),
+            ScheduleError::NoStages
+        );
+    }
+
+    #[test]
+    fn single_stage_puts_everything_on_stage_zero() {
+        let mut sampler = SyntheticSampler::new(SyntheticConfig::paper(2), 2);
+        let dag = sampler.sample();
+        let s = ParamBalanced::new().schedule(&dag, 1).unwrap();
+        assert!(s.stage_of().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn handles_more_stages_than_nodes() {
+        let mut sampler = SyntheticSampler::new(SyntheticConfig::paper(2), 2);
+        let dag = sampler.sample();
+        let s = ParamBalanced::new().schedule(&dag, 64).unwrap();
+        assert!(s.is_valid(&dag));
+    }
+
+    #[test]
+    fn name_identifies_baseline() {
+        assert_eq!(ParamBalanced::new().name(), "EdgeTPU compiler");
+        assert_eq!(OpBalanced::new().name(), "EdgeTPU compiler (op count)");
+    }
+
+    #[test]
+    fn op_balanced_splits_node_counts_evenly() {
+        let dag = models::resnet50(); // 177 nodes
+        let s = OpBalanced::new().schedule(&dag, 4).unwrap();
+        assert!(s.is_valid(&dag));
+        let mut counts = vec![0usize; 4];
+        for &st in s.stage_of() {
+            counts[st] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 177 / 4).abs() <= 1, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn op_balanced_overloads_late_stages_with_parameters() {
+        // equal op counts + channel-doubling profile => the last stage
+        // holds far more than its parameter share (the paper's Sec. IV-A
+        // degradation)
+        let dag = models::resnet152();
+        let s = OpBalanced::new().schedule(&dag, 6).unwrap();
+        let model = CostModel::coral();
+        let res = model.stage_resources(&dag, &s);
+        let total = dag.total_param_bytes();
+        let last_share = res[5].param_bytes as f64 / total as f64;
+        assert!(
+            last_share > 1.5 / 6.0,
+            "last stage share {last_share:.3} should exceed fair share"
+        );
+    }
+
+    #[test]
+    fn op_balanced_valid_on_all_models() {
+        for (name, dag) in models::table1() {
+            for k in [4, 5, 6] {
+                let s = OpBalanced::new().schedule(&dag, k).unwrap();
+                assert!(s.is_valid(&dag), "{name} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Exhaustive optimum for small graphs.
+//!
+//! Enumerates every dependency-feasible stage assignment by DFS in
+//! topological order (each node's stage is at least the maximum of its
+//! parents' stages). Exponential — use only for graphs of roughly a dozen
+//! nodes. Exists to certify [`crate::exact`] in tests; also handy for
+//! unit-testing cost models.
+
+use respect_graph::{topo, Dag};
+
+use crate::cost::CostModel;
+use crate::schedule::Schedule;
+
+/// The optimal bottleneck objective over **all** valid `num_stages`-stage
+/// schedules, by exhaustive enumeration.
+///
+/// # Panics
+///
+/// Panics if `num_stages == 0`. Intended for `|V| <= ~12`; larger graphs
+/// will simply take exponential time.
+pub fn optimal_objective(dag: &Dag, num_stages: usize, model: &CostModel) -> f64 {
+    optimal_schedule(dag, num_stages, model).1
+}
+
+/// As [`optimal_objective`], also returning a witness schedule.
+///
+/// # Panics
+///
+/// Panics if `num_stages == 0`.
+pub fn optimal_schedule(dag: &Dag, num_stages: usize, model: &CostModel) -> (Schedule, f64) {
+    assert!(num_stages > 0, "at least one stage");
+    let order = topo::topo_order(dag);
+    let n = dag.len();
+    let mut stage_of = vec![0usize; n];
+    let mut best = f64::INFINITY;
+    let mut best_assign = vec![0usize; n];
+
+    fn dfs(
+        dag: &Dag,
+        order: &[respect_graph::NodeId],
+        idx: usize,
+        num_stages: usize,
+        stage_of: &mut [usize],
+        model: &CostModel,
+        best: &mut f64,
+        best_assign: &mut [usize],
+    ) {
+        if idx == order.len() {
+            let s = Schedule::new(stage_of.to_vec(), num_stages).expect("stages in range");
+            let obj = model.objective(dag, &s);
+            if obj < *best {
+                *best = obj;
+                best_assign.copy_from_slice(stage_of);
+            }
+            return;
+        }
+        let v = order[idx];
+        let min_stage = dag
+            .preds(v)
+            .iter()
+            .map(|&p| stage_of[p.index()])
+            .max()
+            .unwrap_or(0);
+        for s in min_stage..num_stages {
+            stage_of[v.index()] = s;
+            dfs(
+                dag,
+                order,
+                idx + 1,
+                num_stages,
+                stage_of,
+                model,
+                best,
+                best_assign,
+            );
+        }
+        stage_of[v.index()] = 0;
+    }
+
+    dfs(
+        dag,
+        &order,
+        0,
+        num_stages,
+        &mut stage_of,
+        model,
+        &mut best,
+        &mut best_assign,
+    );
+    let schedule = Schedule::new(best_assign, num_stages).expect("stages in range");
+    (schedule, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respect_graph::{DagBuilder, OpKind, OpNode};
+
+    fn chain(params: &[u64]) -> Dag {
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = params
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                b.add_node(
+                    OpNode::new(format!("n{i}"), OpKind::Conv2d)
+                        .with_params(p)
+                        .with_output(1),
+                )
+            })
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn mem_model() -> CostModel {
+        CostModel {
+            sec_per_mac: 0.0,
+            sec_per_byte: 1.0,
+            cache_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn brute_force_on_known_chain() {
+        let dag = chain(&[3, 3, 3, 3]);
+        // 2 stages: best split 2+2 -> max(6, 6+1 cut byte) = 7
+        let (s, obj) = optimal_schedule(&dag, 2, &mem_model());
+        assert!(s.is_valid(&dag));
+        assert!((obj - 7.0).abs() < 1e-12, "obj={obj}");
+    }
+
+    #[test]
+    fn one_stage_means_sum() {
+        let dag = chain(&[2, 5]);
+        assert!((optimal_objective(&dag, 1, &mem_model()) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_stages_never_increase_cost() {
+        let dag = chain(&[4, 1, 2, 8]);
+        let m = mem_model();
+        let o2 = optimal_objective(&dag, 2, &m);
+        let o3 = optimal_objective(&dag, 3, &m);
+        let o4 = optimal_objective(&dag, 4, &m);
+        assert!(o3 <= o2 + 1e-12);
+        assert!(o4 <= o3 + 1e-12);
+    }
+
+    #[test]
+    fn respects_dependencies_on_diamond() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node(OpNode::new("a", OpKind::Conv2d).with_params(1).with_output(1));
+        let x = b.add_node(OpNode::new("x", OpKind::Conv2d).with_params(9).with_output(1));
+        let y = b.add_node(OpNode::new("y", OpKind::Conv2d).with_params(9).with_output(1));
+        let z = b.add_node(OpNode::new("z", OpKind::Conv2d).with_params(1).with_output(1));
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        let dag = b.build().unwrap();
+        let (s, _) = optimal_schedule(&dag, 2, &mem_model());
+        assert!(s.is_valid(&dag));
+    }
+}

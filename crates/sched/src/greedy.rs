@@ -1,0 +1,142 @@
+//! Cost-aware greedy list scheduling.
+//!
+//! The classic "list scheduling" family the paper cites (Sec. II) walks a
+//! priority-ordered node list and greedily assigns resources. For pipeline
+//! partitioning this becomes: walk the default topological order,
+//! accumulate a segment until its [`CostModel`] cost exceeds an even-split
+//! target, then cut. One pass, no lookahead — faster but weaker than the
+//! packing DP, and a useful middle ground between the parameter-balancing
+//! compiler and the exact solver.
+
+use respect_graph::Dag;
+
+use crate::cost::{CostModel, SegmentAccumulator};
+use crate::order;
+use crate::schedule::{Schedule, ScheduleError};
+use crate::Scheduler;
+
+/// Greedy cost-threshold list scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyCost {
+    model: CostModel,
+    /// Multiplier on the even-split target before cutting (1.0 = cut as
+    /// soon as the target is exceeded).
+    slack: f64,
+}
+
+impl GreedyCost {
+    /// Creates the scheduler with default slack 1.0.
+    pub fn new(model: CostModel) -> Self {
+        GreedyCost { model, slack: 1.0 }
+    }
+
+    /// Adjusts the cut threshold multiplier.
+    pub fn with_slack(mut self, slack: f64) -> Self {
+        self.slack = slack;
+        self
+    }
+}
+
+impl Scheduler for GreedyCost {
+    fn name(&self) -> &str {
+        "greedy list"
+    }
+
+    fn schedule(&self, dag: &Dag, num_stages: usize) -> Result<Schedule, ScheduleError> {
+        if num_stages == 0 {
+            return Err(ScheduleError::NoStages);
+        }
+        let sequence = order::default_order(dag);
+        let pos = order::positions(dag, &sequence);
+
+        // Even-split target: total single-stage cost divided by stages.
+        let total_cost = {
+            let mut acc = SegmentAccumulator::new();
+            for &v in &sequence {
+                acc.push(dag, v, |_| false);
+            }
+            acc.cost(&self.model)
+        };
+        let target = self.slack * total_cost / num_stages as f64;
+
+        let mut cuts = Vec::with_capacity(num_stages - 1);
+        let mut start = 0usize;
+        let mut acc = SegmentAccumulator::new();
+        for (i, &v) in sequence.iter().enumerate() {
+            acc.push(dag, v, |p| pos[p.index()] < start);
+            let remaining_stages = num_stages - cuts.len() - 1;
+            let remaining_nodes = sequence.len() - i - 1;
+            if remaining_stages > 0
+                && acc.cost(&self.model) >= target
+                && remaining_nodes >= remaining_stages.min(1)
+            {
+                cuts.push(i + 1);
+                start = i + 1;
+                acc = SegmentAccumulator::new();
+            }
+        }
+        while cuts.len() + 1 < num_stages {
+            cuts.push(sequence.len());
+        }
+        Ok(Schedule::from_cuts(&sequence, &cuts, num_stages))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack;
+    use respect_graph::{models, SyntheticConfig, SyntheticSampler};
+
+    #[test]
+    fn valid_on_all_models_and_stage_counts() {
+        let sched = GreedyCost::new(CostModel::coral());
+        for (name, dag) in models::table1() {
+            for k in [1, 4, 5, 6] {
+                let s = sched.schedule(&dag, k).unwrap();
+                assert!(s.is_valid(&dag), "{name} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_better_than_packing_dp_on_same_order() {
+        let model = CostModel::coral();
+        let sched = GreedyCost::new(model);
+        let mut sampler = SyntheticSampler::new(SyntheticConfig::paper(3), 77);
+        for _ in 0..10 {
+            let dag = sampler.sample();
+            for k in [2, 4] {
+                let s = sched.schedule(&dag, k).unwrap();
+                let greedy_obj = model.objective(&dag, &s);
+                let (_, dp_obj) = pack::pack_default(&dag, k, &model);
+                assert!(
+                    dp_obj <= greedy_obj + 1e-12,
+                    "dp {dp_obj} must be <= greedy {greedy_obj}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_stages() {
+        let dag = models::xception();
+        assert!(matches!(
+            GreedyCost::new(CostModel::coral()).schedule(&dag, 0),
+            Err(ScheduleError::NoStages)
+        ));
+    }
+
+    #[test]
+    fn slack_changes_cut_placement() {
+        let dag = models::resnet50();
+        let a = GreedyCost::new(CostModel::coral())
+            .schedule(&dag, 4)
+            .unwrap();
+        let b = GreedyCost::new(CostModel::coral())
+            .with_slack(1.8)
+            .schedule(&dag, 4)
+            .unwrap();
+        assert_ne!(a, b);
+    }
+}

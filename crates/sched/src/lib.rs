@@ -1,0 +1,77 @@
+//! Scheduling substrate for the RESPECT reproduction.
+//!
+//! The paper frames DNN deployment on an `n`-stage pipelined Edge TPU
+//! system as resource-constrained scheduling (Sec. II): assign every node
+//! of a computational DAG to a pipeline stage such that dataflow only
+//! crosses stage boundaries forward, minimizing a memory- and
+//! communication-aware bottleneck cost. This crate provides every
+//! scheduling algorithm the paper discusses or compares against:
+//!
+//! * [`Schedule`] — validated stage assignments;
+//! * [`CostModel`] — the per-stage latency model (compute + off-cache
+//!   parameter streaming + cut communication);
+//! * [`pack`] — the paper's `ρ`: optimal packing of a *fixed* node
+//!   sequence into `n` contiguous segments (dynamic programming);
+//! * [`balanced`] — the commercial Edge TPU compiler's parameter-balancing
+//!   partition heuristic (baseline 1);
+//! * [`exact`] — a structure-aware exact branch-and-bound over
+//!   order-ideal chains (fast, provably optimal);
+//! * [`ilp`] — a generic ILP-style branch-and-bound whose solving-time
+//!   profile reproduces the paper's CPLEX baseline (baseline 2);
+//! * [`greedy`], [`anneal`] — cost-aware list scheduling and simulated
+//!   annealing (the "iterative metaheuristics" of Sec. II);
+//! * [`hu`], [`force`] — the classic RCS algorithms cited in Sec. II
+//!   (Hu's algorithm, force-directed scheduling);
+//! * [`repair`] — the paper's post-inference processing;
+//! * [`brute`] — exhaustive optimum for small graphs, used to certify
+//!   [`exact`] in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use respect_graph::models;
+//! use respect_sched::{exact::ExactScheduler, CostModel, Scheduler};
+//!
+//! # fn main() -> Result<(), respect_sched::ScheduleError> {
+//! let dag = models::xception();
+//! let scheduler = ExactScheduler::new(CostModel::coral());
+//! let schedule = scheduler.schedule(&dag, 4)?;
+//! assert!(schedule.is_valid(&dag));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod anneal;
+pub mod balanced;
+pub mod brute;
+pub mod cost;
+pub mod exact;
+pub mod force;
+pub mod greedy;
+pub mod hu;
+pub mod ilp;
+pub mod order;
+pub mod pack;
+pub mod repair;
+pub mod schedule;
+
+pub use cost::CostModel;
+pub use schedule::{Schedule, ScheduleError};
+
+use respect_graph::Dag;
+
+/// A pipeline scheduler: maps a computational graph onto `num_stages`
+/// Edge TPU pipeline stages.
+pub trait Scheduler {
+    /// Short human-readable name for reports ("EdgeTPU compiler", "ILP",
+    /// "RESPECT", ...).
+    fn name(&self) -> &str;
+
+    /// Computes a stage assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] when no valid schedule exists for the
+    /// requested stage count (e.g. zero stages).
+    fn schedule(&self, dag: &Dag, num_stages: usize) -> Result<Schedule, ScheduleError>;
+}

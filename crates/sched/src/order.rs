@@ -1,0 +1,101 @@
+//! Node-sequence helpers: the solution space of the paper is a
+//! dependency-respecting node sequence `π` (Sec. III-B) plus the packing
+//! `ρ`; this module provides deterministic and randomized sequences and
+//! position bookkeeping.
+
+use rand::Rng;
+
+use respect_graph::{topo, Dag, NodeId};
+
+/// Deterministic default execution order (Kahn, smallest ready id first) —
+/// the order the commercial compiler consumes the flattened model in.
+pub fn default_order(dag: &Dag) -> Vec<NodeId> {
+    topo::topo_order(dag)
+}
+
+/// A uniformly random topological order (random ready-node tie breaking).
+///
+/// Used by simulated annealing restarts and training-data augmentation.
+pub fn random_topo_order(dag: &Dag, rng: &mut impl Rng) -> Vec<NodeId> {
+    let n = dag.len();
+    let mut indeg: Vec<usize> = dag.node_ids().map(|v| dag.in_degree(v)).collect();
+    let mut ready: Vec<NodeId> = dag.node_ids().filter(|&v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let i = rng.gen_range(0..ready.len());
+        let v = ready.swap_remove(i);
+        order.push(v);
+        for &s in dag.succs(v) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    order
+}
+
+/// Position of every node inside `order` (`pos[v.index()]`).
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the graph's nodes.
+pub fn positions(dag: &Dag, order: &[NodeId]) -> Vec<usize> {
+    assert_eq!(order.len(), dag.len(), "order must cover every node");
+    let mut pos = vec![usize::MAX; dag.len()];
+    for (i, &v) in order.iter().enumerate() {
+        assert!(pos[v.index()] == usize::MAX, "duplicate node in order");
+        pos[v.index()] = i;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use respect_graph::{SyntheticConfig, SyntheticSampler};
+
+    #[test]
+    fn random_orders_are_topological() {
+        let mut sampler = SyntheticSampler::new(SyntheticConfig::paper(4), 9);
+        let dag = sampler.sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let order = random_topo_order(&dag, &mut rng);
+            assert!(topo::is_topological_order(&dag, &order));
+        }
+    }
+
+    #[test]
+    fn random_orders_vary() {
+        let mut sampler = SyntheticSampler::new(SyntheticConfig::paper(2), 9);
+        let dag = sampler.sample();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_topo_order(&dag, &mut rng);
+        let b = random_topo_order(&dag, &mut rng);
+        assert_ne!(a, b, "two draws should differ on a 30-node graph");
+    }
+
+    #[test]
+    fn positions_invert_order() {
+        let mut sampler = SyntheticSampler::new(SyntheticConfig::paper(3), 5);
+        let dag = sampler.sample();
+        let order = default_order(&dag);
+        let pos = positions(&dag, &order);
+        for (i, &v) in order.iter().enumerate() {
+            assert_eq!(pos[v.index()], i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn positions_reject_duplicates() {
+        let mut sampler = SyntheticSampler::new(SyntheticConfig::paper(3), 5);
+        let dag = sampler.sample();
+        let mut order = default_order(&dag);
+        order[1] = order[0];
+        let _ = positions(&dag, &order);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the scheduling substrate: validity, optimality
+//! bounds, and repair guarantees over randomly sampled problem instances.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use respect_graph::{SyntheticConfig, SyntheticSampler};
+use respect_sched::repair::{repair, RepairConfig};
+use respect_sched::{brute, exact, order, pack, CostModel};
+
+fn sample(nodes: usize, deg: usize, seed: u64) -> respect_graph::Dag {
+    let cfg = SyntheticConfig {
+        num_nodes: nodes,
+        max_in_degree: deg,
+        param_bytes_range: (1, 4096),
+        output_bytes_range: (1, 1024),
+        ..SyntheticConfig::default()
+    };
+    SyntheticSampler::new(cfg, seed).sample()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pack_produces_valid_schedules_on_random_orders(
+        seed in 0u64..5_000,
+        stages in 1usize..7,
+        order_seed in 0u64..100,
+    ) {
+        let dag = sample(20, 3, seed);
+        let model = CostModel::coral();
+        let mut rng = StdRng::seed_from_u64(order_seed);
+        let sequence = order::random_topo_order(&dag, &mut rng);
+        let (schedule, obj) = pack::pack(&dag, &sequence, stages, &model);
+        prop_assert!(schedule.is_valid(&dag));
+        // DP value matches independent recomputation
+        let recomputed = model.objective(&dag, &schedule);
+        prop_assert!((obj - recomputed).abs() <= 1e-9 * obj.max(1e-30));
+        // never below the information-theoretic lower bound
+        prop_assert!(obj + 1e-15 >= model.lower_bound(&dag, stages));
+    }
+
+    #[test]
+    fn repair_always_yields_valid_schedules(
+        seed in 0u64..5_000,
+        stages in 1usize..6,
+        raw_seed in 0u64..1_000,
+    ) {
+        let dag = sample(15, 4, seed);
+        // adversarial raw predictions from a hash
+        let raw: Vec<usize> = (0..dag.len())
+            .map(|i| ((raw_seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % (stages + 2))
+            .collect();
+        let s = repair(&dag, &raw, stages, RepairConfig::default()).unwrap();
+        prop_assert!(s.is_valid(&dag));
+        let s2 = repair(
+            &dag,
+            &raw,
+            stages,
+            RepairConfig { sibling_stages: false, ..RepairConfig::default() },
+        )
+        .unwrap();
+        prop_assert!(s2.is_valid(&dag));
+    }
+}
+
+proptest! {
+    // exact-vs-brute is exponential in the graph size: fewer cases
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn exact_matches_brute_force_on_random_small_instances(
+        seed in 0u64..1_000,
+        stages in 2usize..4,
+    ) {
+        let dag = sample(7, 3, seed);
+        let model = CostModel {
+            sec_per_mac: 1e-6,
+            sec_per_byte: 1.0,
+            cache_bytes: 512,
+        };
+        let sol = exact::ExactScheduler::new(model)
+            .with_warmstart_moves(100)
+            .solve(&dag, stages)
+            .unwrap();
+        prop_assert!(sol.proven_optimal);
+        let want = brute::optimal_objective(&dag, stages, &model);
+        prop_assert!(
+            (sol.objective - want).abs() <= 1e-9 * want.max(1e-12),
+            "exact {} vs brute {}", sol.objective, want
+        );
+    }
+
+    #[test]
+    fn exact_dominates_every_random_packing(
+        seed in 0u64..1_000,
+        order_seed in 0u64..50,
+    ) {
+        let dag = sample(14, 3, seed);
+        let model = CostModel::coral();
+        let sol = exact::ExactScheduler::new(model)
+            .with_warmstart_moves(100)
+            .solve(&dag, 3)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(order_seed);
+        let sequence = order::random_topo_order(&dag, &mut rng);
+        let (_, packed) = pack::pack(&dag, &sequence, 3, &model);
+        prop_assert!(sol.objective <= packed + 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Energy model of the multi-TPU system.
+//!
+//! The paper's testbed (Fig. 2) is explicitly an "energy efficiency
+//! evaluation system"; this module closes that loop: each device draws
+//! `active_power_w` while serving (compute + transfers) and `idle_power_w`
+//! while waiting for the pipeline, so unbalanced schedules waste energy
+//! twice — once through the slower bottleneck and once through idle
+//! stages.
+
+use serde::{Deserialize, Serialize};
+
+use crate::compile::CompiledPipeline;
+use crate::device::DeviceSpec;
+use crate::exec::InferenceReport;
+
+/// Energy accounting for one simulated inference stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Total energy over the stream, joules.
+    pub total_j: f64,
+    /// Energy per inference, joules.
+    pub per_inference_j: f64,
+    /// Mean system power, watts.
+    pub avg_power_w: f64,
+    /// Per-stage busy time, seconds.
+    pub busy_s: Vec<f64>,
+}
+
+/// Estimates energy for a simulated run.
+///
+/// # Panics
+///
+/// Panics if `report` does not match the pipeline's stage count.
+pub fn estimate(
+    pipeline: &CompiledPipeline,
+    spec: &DeviceSpec,
+    report: &InferenceReport,
+) -> EnergyReport {
+    assert_eq!(
+        pipeline.segments.len(),
+        report.stage_service_s.len(),
+        "report does not match pipeline"
+    );
+    let mut total = 0.0;
+    let mut busy_s = Vec::with_capacity(pipeline.segments.len());
+    for &service in &report.stage_service_s {
+        let busy = (service * report.inferences as f64).min(report.total_s);
+        let idle = report.total_s - busy;
+        total += spec.active_power_w * busy + spec.idle_power_w * idle;
+        busy_s.push(busy);
+    }
+    EnergyReport {
+        total_j: total,
+        per_inference_j: total / report.inferences as f64,
+        avg_power_w: total / report.total_s,
+        busy_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, exec};
+    use respect_graph::models;
+    use respect_sched::{balanced::ParamBalanced, Scheduler};
+
+    fn run(stages: usize, inferences: usize) -> (EnergyReport, InferenceReport) {
+        let dag = models::resnet50();
+        let spec = DeviceSpec::coral();
+        let s = ParamBalanced::new().schedule(&dag, stages).unwrap();
+        let p = compile::compile(&dag, &s, &spec).unwrap();
+        let r = exec::simulate(&p, &spec, inferences);
+        (estimate(&p, &spec, &r), r)
+    }
+
+    #[test]
+    fn energy_is_positive_and_bounded_by_power_envelope() {
+        let (e, r) = run(4, 1000);
+        assert!(e.total_j > 0.0);
+        let spec = DeviceSpec::coral();
+        let max_power = 4.0 * spec.active_power_w;
+        let min_power = 4.0 * spec.idle_power_w;
+        assert!(e.avg_power_w <= max_power + 1e-9);
+        assert!(e.avg_power_w >= min_power - 1e-9);
+        assert!((e.per_inference_j - e.total_j / r.inferences as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_scales_with_inference_count() {
+        let (e1, _) = run(4, 100);
+        let (e2, _) = run(4, 1000);
+        assert!(e2.total_j > 5.0 * e1.total_j);
+    }
+
+    #[test]
+    fn busy_time_never_exceeds_wall_clock() {
+        let (e, r) = run(6, 500);
+        for &b in &e.busy_s {
+            assert!(b <= r.total_s + 1e-12);
+        }
+    }
+}

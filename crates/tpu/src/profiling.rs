@@ -1,0 +1,151 @@
+//! Profiling-based iterative partitioner — the successor heuristic Google
+//! shipped after the paper's compiler (the Coral
+//! `partition_with_profiling` tool), included here as an extension
+//! baseline: it closes part of the gap to RESPECT by *measuring* each
+//! candidate partition instead of balancing a static proxy.
+//!
+//! Algorithm (as documented for the real tool): start from the op-count
+//! partition, profile the pipeline, then repeatedly shrink the bottleneck
+//! segment by moving a boundary operator to its lighter neighbour,
+//! re-profiling after each move, until no move improves throughput or the
+//! iteration budget is exhausted. Profiling here uses the
+//! [`crate::exec`] simulator; on hardware each profile costs a real
+//! benchmark run, which is why the tool is orders of magnitude slower
+//! than one-shot heuristics — worth remembering when comparing solving
+//! times.
+
+use respect_graph::Dag;
+use respect_sched::balanced::OpBalanced;
+use respect_sched::{order, Schedule, ScheduleError, Scheduler};
+
+use crate::compile;
+use crate::device::DeviceSpec;
+use crate::exec;
+
+/// Iterative profiling-based partitioner (extension baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilingPartitioner {
+    spec: DeviceSpec,
+    /// Maximum boundary moves.
+    pub max_iterations: usize,
+    /// Inferences per profiling run.
+    pub profile_inferences: usize,
+}
+
+impl ProfilingPartitioner {
+    /// Creates the partitioner with the real tool's default-ish budget.
+    pub fn new(spec: DeviceSpec) -> Self {
+        ProfilingPartitioner {
+            spec,
+            max_iterations: 64,
+            profile_inferences: 100,
+        }
+    }
+
+    fn profile(&self, dag: &Dag, schedule: &Schedule) -> f64 {
+        let pipeline = compile::compile(dag, schedule, &self.spec).expect("valid schedule");
+        exec::simulate(&pipeline, &self.spec, self.profile_inferences).throughput_ips
+    }
+}
+
+impl Scheduler for ProfilingPartitioner {
+    fn name(&self) -> &str {
+        "profiling partitioner"
+    }
+
+    fn schedule(&self, dag: &Dag, num_stages: usize) -> Result<Schedule, ScheduleError> {
+        let sequence = order::default_order(dag);
+        let n = sequence.len();
+        let mut current = OpBalanced::new().schedule(dag, num_stages)?;
+        if num_stages == 1 {
+            return Ok(current);
+        }
+        // recover cut positions from the op-balanced schedule
+        let mut cuts: Vec<usize> = (1..num_stages).map(|k| k * n / num_stages).collect();
+        let mut best_ips = self.profile(dag, &current);
+        for _ in 0..self.max_iterations {
+            // find the bottleneck stage via the simulator
+            let pipeline = compile::compile(dag, &current, &self.spec)?;
+            let report = exec::simulate(&pipeline, &self.spec, self.profile_inferences);
+            let b = report.bottleneck_stage;
+            // candidate moves: shrink the bottleneck from either side
+            let mut candidates: Vec<Vec<usize>> = Vec::new();
+            if b > 0 && cuts[b - 1] < n {
+                let mut c = cuts.clone();
+                c[b - 1] += 1; // give the bottleneck's first op to stage b-1
+                if is_sorted(&c) {
+                    candidates.push(c);
+                }
+            }
+            if b < num_stages - 1 && cuts[b] > 0 {
+                let mut c = cuts.clone();
+                c[b] -= 1; // give the bottleneck's last op to stage b+1
+                if is_sorted(&c) {
+                    candidates.push(c);
+                }
+            }
+            let mut improved = false;
+            for c in candidates {
+                let cand = Schedule::from_cuts(&sequence, &c, num_stages);
+                let ips = self.profile(dag, &cand);
+                if ips > best_ips * (1.0 + 1e-9) {
+                    best_ips = ips;
+                    cuts = c;
+                    current = cand;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        Ok(current)
+    }
+}
+
+fn is_sorted(c: &[usize]) -> bool {
+    c.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respect_graph::models;
+
+    #[test]
+    fn improves_on_op_balanced_for_heavy_models() {
+        let spec = DeviceSpec::coral();
+        let dag = models::resnet152();
+        let part = ProfilingPartitioner::new(spec);
+        let tuned = part.schedule(&dag, 6).unwrap();
+        let base = OpBalanced::new().schedule(&dag, 6).unwrap();
+        assert!(tuned.is_valid(&dag));
+        let ips = |s: &Schedule| {
+            let p = compile::compile(&dag, s, &spec).unwrap();
+            exec::simulate(&p, &spec, 200).throughput_ips
+        };
+        assert!(
+            ips(&tuned) >= ips(&base),
+            "profiling refinement must not regress"
+        );
+    }
+
+    #[test]
+    fn single_stage_is_passthrough() {
+        let spec = DeviceSpec::coral();
+        let dag = models::xception();
+        let s = ProfilingPartitioner::new(spec).schedule(&dag, 1).unwrap();
+        assert!(s.stage_of().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn produces_valid_schedules_across_stage_counts() {
+        let spec = DeviceSpec::coral();
+        let dag = models::densenet121();
+        for k in [2, 4, 6] {
+            let s = ProfilingPartitioner::new(spec).schedule(&dag, k).unwrap();
+            assert!(s.is_valid(&dag), "k={k}");
+        }
+    }
+}

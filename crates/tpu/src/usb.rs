@@ -1,0 +1,89 @@
+//! USB 3.0 bulk-transfer timing.
+//!
+//! The paper's testbed daisy-chains Edge TPUs off a host over USB 3.0
+//! (Fig. 2); every inter-stage tensor and every off-cache parameter byte
+//! crosses this interface. The model is affine — fixed submission
+//! overhead plus bandwidth-limited payload — which matches bulk-endpoint
+//! behaviour well away from tiny packets.
+
+use crate::device::DeviceSpec;
+
+/// Seconds to move `bytes` over the USB link (0 bytes costs nothing:
+/// no transfer is issued).
+#[inline]
+pub fn transfer_time(spec: &DeviceSpec, bytes: u64) -> f64 {
+    if bytes == 0 {
+        0.0
+    } else {
+        spec.usb_overhead_s + bytes as f64 / spec.usb_bytes_per_sec
+    }
+}
+
+/// Seconds to move `bytes` split across `chunks` equal bulk transfers
+/// (parameter streaming issues one transfer per weight block).
+///
+/// # Panics
+///
+/// Panics if `chunks == 0` while `bytes > 0`.
+pub fn chunked_transfer_time(spec: &DeviceSpec, bytes: u64, chunks: usize) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    assert!(chunks > 0, "need at least one chunk for a nonzero transfer");
+    chunks as f64 * spec.usb_overhead_s + bytes as f64 / spec.usb_bytes_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let spec = DeviceSpec::coral();
+        assert_eq!(transfer_time(&spec, 0), 0.0);
+        assert_eq!(chunked_transfer_time(&spec, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn overhead_dominates_small_transfers() {
+        let spec = DeviceSpec::coral();
+        let t = transfer_time(&spec, 64);
+        assert!(t > spec.usb_overhead_s);
+        assert!(t < 2.0 * spec.usb_overhead_s);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let spec = DeviceSpec::coral();
+        let bytes = 64 << 20;
+        let t = transfer_time(&spec, bytes);
+        let ideal = bytes as f64 / spec.usb_bytes_per_sec;
+        assert!((t - ideal) / ideal < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn zero_chunks_with_payload_panics() {
+        let spec = DeviceSpec::coral();
+        let _ = chunked_transfer_time(&spec, 100, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn transfer_time_is_monotone(a in 0u64..1 << 30, b in 0u64..1 << 30) {
+            let spec = DeviceSpec::coral();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(transfer_time(&spec, lo) <= transfer_time(&spec, hi));
+        }
+
+        #[test]
+        fn more_chunks_cost_more(bytes in 1u64..1 << 24, c in 1usize..16) {
+            let spec = DeviceSpec::coral();
+            prop_assert!(
+                chunked_transfer_time(&spec, bytes, c)
+                    <= chunked_transfer_time(&spec, bytes, c + 1)
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Multi-model deployment: the paper's framework "takes single or
+//! multiple DNN models and the number of pipeline stages as inputs"
+//! (Sec. IV). Two models are fused into one computational graph and
+//! co-scheduled across the same pipeline.
+//!
+//! ```text
+//! cargo run --release --example multi_model
+//! ```
+
+use respect::graph::{models, Dag};
+use respect::sched::{balanced, exact, Scheduler};
+use respect::tpu::{compile, device::DeviceSpec, exec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fused = Dag::disjoint_union(&[models::xception(), models::densenet121()]);
+    println!(
+        "fused Xception + DenseNet121: |V|={}, {:.1} MB parameters",
+        fused.len(),
+        fused.total_param_bytes() as f64 / 1e6
+    );
+
+    let spec = DeviceSpec::coral();
+    let model = spec.cost_model();
+    let stages = 4;
+    for (label, schedule) in [
+        (
+            "op-balanced compiler",
+            balanced::OpBalanced::new().schedule(&fused, stages)?,
+        ),
+        (
+            "exact co-schedule",
+            exact::ExactScheduler::new(model).schedule(&fused, stages)?,
+        ),
+    ] {
+        let pipeline = compile::compile(&fused, &schedule, &spec)?;
+        let report = exec::simulate(&pipeline, &spec, 1_000);
+        println!(
+            "  {label:<22} {:>8.1} inf/s (both models per inference)",
+            report.throughput_ips
+        );
+        // where did each model land?
+        for m in 0..2 {
+            let prefix = format!("m{m}/");
+            let stages_used: std::collections::BTreeSet<usize> = fused
+                .iter()
+                .filter(|(_, n)| n.name.starts_with(&prefix))
+                .map(|(id, _)| schedule.stage(id))
+                .collect();
+            println!("    model {m} occupies stages {stages_used:?}");
+        }
+    }
+    println!("\nco-scheduling lets a light model share the cache slack of a");
+    println!("heavy one — a capability the commercial per-model flow lacks");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Deploy a model onto 4-, 5-, and 6-stage pipelined Edge TPU systems,
+//! comparing the commercial-compiler schedule against RESPECT on the
+//! simulator: throughput, per-stage occupancy, cache spill, and energy.
+//!
+//! ```text
+//! cargo run --release --example pipeline_deploy -- [model]
+//! ```
+//!
+//! `model` is any Table I name (default: ResNet152).
+
+use respect::core::{train_policy, RespectScheduler, TrainConfig};
+use respect::graph::models;
+use respect::sched::Scheduler as _;
+use respect::tpu::{compile, device::DeviceSpec, energy, exec, EdgeTpuCompiler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "ResNet152".into());
+    let (name, dag) = models::fig5()
+        .into_iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(&wanted))
+        .ok_or_else(|| format!("unknown model {wanted:?}; see Table I names"))?;
+    println!(
+        "{name}: |V|={}, deg(V)={}, depth={}, {:.1} MB parameters",
+        dag.len(),
+        dag.max_in_degree(),
+        dag.depth(),
+        dag.total_param_bytes() as f64 / 1e6
+    );
+
+    let spec = DeviceSpec::coral();
+    let mut cfg = TrainConfig::smoke_test();
+    cfg.dataset.graphs = 16;
+    let respect = RespectScheduler::new(train_policy(&cfg)?)
+        .with_cost_model(spec.cost_model());
+    let compiler = EdgeTpuCompiler::fast(spec);
+
+    for stages in [4usize, 5, 6] {
+        println!("\n=== {stages}-stage pipeline ===");
+        for (label, schedule) in [
+            ("EdgeTPU compiler", compiler.schedule(&dag, stages)?),
+            ("RESPECT", respect.schedule(&dag, stages)?),
+        ] {
+            let pipeline = compile::compile(&dag, &schedule, &spec)?;
+            let report = exec::simulate(&pipeline, &spec, 1_000);
+            let joules = energy::estimate(&pipeline, &spec, &report);
+            let spilled: u64 = pipeline.segments.iter().map(|s| s.streamed_bytes).sum();
+            println!(
+                "  {label:<18} {:>8.1} inf/s | {:>6.2} MB streamed/inf | {:>6.2} mJ/inf",
+                report.throughput_ips,
+                spilled as f64 / 1e6,
+                joules.per_inference_j * 1e3,
+            );
+        }
+    }
+    println!("\n(the compiler balances op counts; RESPECT balances the memory-");
+    println!(" and communication-aware bottleneck — the gap grows with stages)");
+    Ok(())
+}

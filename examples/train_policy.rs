@@ -1,0 +1,56 @@
+//! Train a RESPECT policy at laptop scale, watch the reward curve, and
+//! save the weights for later deployment.
+//!
+//! ```text
+//! cargo run --release --example train_policy -- [graphs] [epochs] [out.rspp]
+//! ```
+
+use respect::core::model_io;
+use respect::core::train::Trainer;
+use respect::core::TrainConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let graphs: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(128);
+    let epochs: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let out = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "respect_policy.rspp".to_string());
+
+    let mut config = TrainConfig::laptop();
+    config.dataset.graphs = graphs;
+    config.epochs = epochs;
+    println!(
+        "training: {} graphs x {} epochs, hidden {}, batch {}, lr {}",
+        graphs, epochs, config.policy.hidden, config.batch_size, config.learning_rate
+    );
+    println!("(the paper's full budget: 1M graphs, 300 epochs, hidden 256)\n");
+
+    let mut trainer = Trainer::new(config)?;
+    trainer.run()?;
+    let report = trainer.report();
+    println!("reward curve (mean cosine similarity to the exact teacher):");
+    for (i, (r, b)) in report
+        .batch_rewards
+        .iter()
+        .zip(&report.batch_baselines)
+        .enumerate()
+    {
+        if i % 4 == 0 || i + 1 == report.batch_rewards.len() {
+            let bar = "#".repeat((r * 50.0) as usize);
+            println!("  batch {i:>4}: R={r:.3} b={b:.3} {bar}");
+        }
+    }
+    println!(
+        "\nearly mean {:.3} -> late mean {:.3}",
+        report.early_mean(4),
+        report.late_mean(4)
+    );
+
+    let policy = trainer.into_policy();
+    model_io::save_policy(&out, &policy)?;
+    println!("saved weights to {out}");
+    println!("use them via the RESPECT_POLICY env var or model_io::load_policy");
+    Ok(())
+}

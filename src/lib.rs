@@ -1,0 +1,37 @@
+//! # respect
+//!
+//! Facade crate for the RESPECT reproduction workspace. Re-exports the five
+//! member crates so downstream users (and the `examples/` and `tests/`
+//! directories of this repository) can depend on a single crate.
+//!
+//! * [`graph`] — DAG substrate, synthetic sampler, ImageNet model zoo.
+//! * [`nn`] — tape-based autodiff, LSTM, pointer attention, optimizers.
+//! * [`sched`] — schedules, packing DP, heuristic and exact schedulers.
+//! * [`tpu`] — pipelined Coral Edge TPU system simulator and compiler.
+//! * [`core`] — the paper's contribution: the RL scheduling framework.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use respect::core::{RespectScheduler, TrainConfig};
+//! use respect::graph::models;
+//! use respect::sched::Scheduler as _;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Train a small policy on synthetic graphs (scaled-down preset).
+//! let policy = respect::core::train_policy(&TrainConfig::smoke_test())?;
+//! let scheduler = RespectScheduler::new(policy);
+//!
+//! // Schedule ResNet-50 onto a 4-stage Edge TPU pipeline.
+//! let dag = models::resnet50();
+//! let schedule = scheduler.schedule(&dag, 4)?;
+//! assert!(schedule.is_valid(&dag));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use respect_core as core;
+pub use respect_graph as graph;
+pub use respect_nn as nn;
+pub use respect_sched as sched;
+pub use respect_tpu as tpu;

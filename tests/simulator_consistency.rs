@@ -1,0 +1,78 @@
+//! Cost model vs simulator consistency: the abstract objective must
+//! predict the simulator's ranking in the regimes where the paper's
+//! method relies on it, and the documented miscorrelation must stay
+//! bounded.
+
+use respect::graph::models;
+use respect::sched::{balanced, exact, Scheduler};
+use respect::tpu::{compile, device::DeviceSpec, exec};
+
+#[test]
+fn better_objective_means_better_simulated_throughput_on_heavy_models() {
+    // ResNet152 at 6 stages: op-balanced cuts overload late stages with
+    // weights; the exact schedule must win on the simulator too.
+    let spec = DeviceSpec::coral();
+    let model = spec.cost_model();
+    let dag = models::resnet152();
+    let stages = 6;
+    let s_compiler = balanced::OpBalanced::new().schedule(&dag, stages).unwrap();
+    let s_exact = exact::ExactScheduler::new(model)
+        .schedule(&dag, stages)
+        .unwrap();
+    let obj_c = model.objective(&dag, &s_compiler);
+    let obj_e = model.objective(&dag, &s_exact);
+    assert!(obj_e < obj_c, "exact must dominate on the abstract model");
+
+    let sim = |s| {
+        let p = compile::compile(&dag, s, &spec).unwrap();
+        exec::simulate(&p, &spec, 1_000).throughput_ips
+    };
+    let ips_c = sim(&s_compiler);
+    let ips_e = sim(&s_exact);
+    assert!(
+        ips_e > ips_c,
+        "simulator must agree: exact {ips_e} vs compiler {ips_c}"
+    );
+}
+
+#[test]
+fn simulated_stage_times_track_cost_model_components() {
+    let spec = DeviceSpec::coral();
+    let model = spec.cost_model();
+    let dag = models::resnet101();
+    let s = balanced::OpBalanced::new().schedule(&dag, 4).unwrap();
+    let costs = model.stage_costs(&dag, &s);
+    let pipeline = compile::compile(&dag, &s, &spec).unwrap();
+    let report = exec::simulate(&pipeline, &spec, 10);
+    // simulator adds overheads and output transfers, so service >= cost
+    for (k, (&cost, &service)) in costs.iter().zip(&report.stage_service_s).enumerate() {
+        assert!(
+            service + 1e-12 >= cost,
+            "stage {k}: sim {service} below abstract {cost}"
+        );
+        // but the miscorrelation is bounded: within 10x + fixed overhead
+        assert!(
+            service <= 10.0 * cost + 1e-2,
+            "stage {k}: sim {service} wildly above abstract {cost}"
+        );
+    }
+}
+
+#[test]
+fn pipelining_monotonically_helps_until_cache_fits() {
+    // adding stages must never reduce simulated throughput for the
+    // compiler heuristic on a heavy model (more cache, shorter stages)
+    let spec = DeviceSpec::coral();
+    let dag = models::resnet152v2();
+    let mut last = 0.0;
+    for stages in [1usize, 2, 4, 6] {
+        let s = balanced::ParamBalanced::new().schedule(&dag, stages).unwrap();
+        let p = compile::compile(&dag, &s, &spec).unwrap();
+        let ips = exec::simulate(&p, &spec, 500).throughput_ips;
+        assert!(
+            ips >= last * 0.98,
+            "{stages} stages regressed: {ips} < {last}"
+        );
+        last = ips;
+    }
+}
