@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run --release -p respect-bench --bin reproduce -- all --quick
-//! cargo run --release -p respect-bench --bin reproduce -- fig3
+//! cargo run --release -p respect_bench --bin reproduce -- all --quick
+//! cargo run --release -p respect_bench --bin reproduce -- fig3
 //! ```
 //!
 //! Experiments: `table1`, `fig3`, `fig4`, `fig5`, `ablation`, `all`.

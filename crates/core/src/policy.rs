@@ -407,9 +407,10 @@ fn attention_scores_raw(
 }
 
 fn argmax_unmasked(logits: &Matrix, mask: &[bool]) -> usize {
+    assert_eq!(mask.len(), logits.rows(), "mask length");
     let mut best = None;
-    for i in 0..logits.rows() {
-        if mask[i] {
+    for (i, &masked) in mask.iter().enumerate() {
+        if masked {
             continue;
         }
         let v = logits.get(i, 0);
@@ -423,10 +424,11 @@ fn argmax_unmasked(logits: &Matrix, mask: &[bool]) -> usize {
 }
 
 fn sample_unmasked(logp: &Matrix, mask: &[bool], rng: &mut StdRng) -> usize {
+    assert_eq!(mask.len(), logp.rows(), "mask length");
     // logp already normalized: exponentiate the unmasked entries
     let mut probs = Matrix::zeros(logp.rows(), 1);
-    for i in 0..logp.rows() {
-        if !mask[i] {
+    for (i, &masked) in mask.iter().enumerate() {
+        if !masked {
             probs.set(i, 0, logp.get(i, 0).exp());
         }
     }
@@ -434,14 +436,17 @@ fn sample_unmasked(logp: &Matrix, mask: &[bool], rng: &mut StdRng) -> usize {
 }
 
 fn sample_probs(probs: &Matrix, mask: &[bool], rng: &mut StdRng) -> usize {
-    let total: f32 = (0..probs.rows())
-        .filter(|&i| !mask[i])
-        .map(|i| probs.get(i, 0))
+    assert_eq!(mask.len(), probs.rows(), "mask length");
+    let total: f32 = mask
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| !m)
+        .map(|(i, _)| probs.get(i, 0))
         .sum();
     let mut r = rng.gen_range(0.0..1.0f32) * total;
     let mut last = None;
-    for i in 0..probs.rows() {
-        if mask[i] {
+    for (i, &masked) in mask.iter().enumerate() {
+        if masked {
             continue;
         }
         last = Some(i);

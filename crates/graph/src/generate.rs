@@ -120,7 +120,7 @@ impl SyntheticSampler {
                 8 => OpKind::Concat,
                 _ => OpKind::Activation,
             };
-            let macs = params * self.rng.gen_range(8..64);
+            let macs = params * self.rng.gen_range(8u64..64);
             builder.add_node(
                 OpNode::new(format!("syn_{i}"), kind)
                     .with_params(params)

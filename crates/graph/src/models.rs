@@ -151,9 +151,16 @@ impl ModelSpec {
         );
         let span = self.branch_len + 1;
         let mut branch_nodes = Vec::new();
-        if num_blocks > 0 {
-            let usable = chain_len - 2 - span; // keep input/output plain
-            let stride = usable / num_blocks;
+        if let Some(blocks) = std::num::NonZeroUsize::new(num_blocks) {
+            // keep input/output plain: only `chain_len - 2 - span` chain
+            // slots can anchor blocks
+            let usable = chain_len.checked_sub(2 + span).unwrap_or_else(|| {
+                panic!(
+                    "{}: chain (len {chain_len}) too short for branch blocks (span {span})",
+                    self.name
+                )
+            });
+            let stride = usable / blocks;
             assert!(
                 stride > span,
                 "blocks of {} would overlap (stride {stride} <= span {span})",

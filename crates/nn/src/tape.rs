@@ -286,8 +286,8 @@ impl Tape {
         assert_eq!(av.rows(), mask.len(), "mask length");
         let lse = masked_log_sum_exp(av, mask);
         let mut out = Matrix::zeros(av.rows(), 1);
-        for i in 0..av.rows() {
-            let y = if mask[i] { NEG_INF_LOGIT } else { av.get(i, 0) - lse };
+        for (i, &masked) in mask.iter().enumerate() {
+            let y = if masked { NEG_INF_LOGIT } else { av.get(i, 0) - lse };
             out.set(i, 0, y);
         }
         self.push(out, Op::LogSoftmaxMaskedCol(a, mask.to_vec()))
@@ -446,8 +446,8 @@ impl Tape {
                         .map(|i| g.get(i, 0) * y.get(i, 0))
                         .sum();
                     let mut da = Matrix::zeros(y.rows(), 1);
-                    for i in 0..y.rows() {
-                        if !mask[i] {
+                    for (i, &masked) in mask.iter().enumerate() {
+                        if !masked {
                             da.set(i, 0, y.get(i, 0) * (g.get(i, 0) - dot));
                         }
                     }
@@ -460,8 +460,8 @@ impl Tape {
                         .map(|i| g.get(i, 0))
                         .sum();
                     let mut da = Matrix::zeros(y.rows(), 1);
-                    for i in 0..y.rows() {
-                        if !mask[i] {
+                    for (i, &masked) in mask.iter().enumerate() {
+                        if !masked {
                             da.set(i, 0, g.get(i, 0) - y.get(i, 0).exp() * gsum);
                         }
                     }
@@ -496,8 +496,8 @@ pub fn masked_softmax(x: &Matrix, mask: &[bool]) -> Matrix {
         .fold(f32::NEG_INFINITY, f32::max);
     let mut out = Matrix::zeros(x.rows(), 1);
     let mut z = 0.0;
-    for i in 0..x.rows() {
-        if !mask[i] {
+    for (i, &masked) in mask.iter().enumerate() {
+        if !masked {
             let e = (x.get(i, 0) - mx).exp();
             out.set(i, 0, e);
             z += e;

@@ -169,8 +169,7 @@ impl Matrix {
         for p in 0..k {
             let arow = &self.data[p * m..(p + 1) * m];
             let brow = &other.data[p * n..(p + 1) * n];
-            for i in 0..m {
-                let a = arow[i];
+            for (i, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }

@@ -31,64 +31,56 @@ pub fn optimal_schedule(dag: &Dag, num_stages: usize, model: &CostModel) -> (Sch
     assert!(num_stages > 0, "at least one stage");
     let order = topo::topo_order(dag);
     let n = dag.len();
-    let mut stage_of = vec![0usize; n];
-    let mut best = f64::INFINITY;
-    let mut best_assign = vec![0usize; n];
+    let mut search = Search {
+        dag,
+        order: &order,
+        num_stages,
+        model,
+        stage_of: vec![0usize; n],
+        best: f64::INFINITY,
+        best_assign: vec![0usize; n],
+    };
+    search.dfs(0);
+    let schedule = Schedule::new(search.best_assign, num_stages).expect("stages in range");
+    (schedule, search.best)
+}
 
-    fn dfs(
-        dag: &Dag,
-        order: &[respect_graph::NodeId],
-        idx: usize,
-        num_stages: usize,
-        stage_of: &mut [usize],
-        model: &CostModel,
-        best: &mut f64,
-        best_assign: &mut [usize],
-    ) {
-        if idx == order.len() {
-            let s = Schedule::new(stage_of.to_vec(), num_stages).expect("stages in range");
-            let obj = model.objective(dag, &s);
-            if obj < *best {
-                *best = obj;
-                best_assign.copy_from_slice(stage_of);
+struct Search<'a> {
+    dag: &'a Dag,
+    order: &'a [respect_graph::NodeId],
+    num_stages: usize,
+    model: &'a CostModel,
+    stage_of: Vec<usize>,
+    best: f64,
+    best_assign: Vec<usize>,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, idx: usize) {
+        if idx == self.order.len() {
+            let s =
+                Schedule::new(self.stage_of.clone(), self.num_stages).expect("stages in range");
+            let obj = self.model.objective(self.dag, &s);
+            if obj < self.best {
+                self.best = obj;
+                self.best_assign.copy_from_slice(&self.stage_of);
             }
             return;
         }
-        let v = order[idx];
-        let min_stage = dag
+        let v = self.order[idx];
+        let min_stage = self
+            .dag
             .preds(v)
             .iter()
-            .map(|&p| stage_of[p.index()])
+            .map(|&p| self.stage_of[p.index()])
             .max()
             .unwrap_or(0);
-        for s in min_stage..num_stages {
-            stage_of[v.index()] = s;
-            dfs(
-                dag,
-                order,
-                idx + 1,
-                num_stages,
-                stage_of,
-                model,
-                best,
-                best_assign,
-            );
+        for s in min_stage..self.num_stages {
+            self.stage_of[v.index()] = s;
+            self.dfs(idx + 1);
         }
-        stage_of[v.index()] = 0;
+        self.stage_of[v.index()] = 0;
     }
-
-    dfs(
-        dag,
-        &order,
-        0,
-        num_stages,
-        &mut stage_of,
-        model,
-        &mut best,
-        &mut best_assign,
-    );
-    let schedule = Schedule::new(best_assign, num_stages).expect("stages in range");
-    (schedule, best)
 }
 
 #[cfg(test)]

@@ -39,8 +39,8 @@ pub fn force_directed(dag: &Dag, latency: usize) -> Vec<usize> {
         for v in dag.node_ids() {
             let (a, l) = (asap[v.index()], alap[v.index()]);
             let w = (l - a + 1) as f64;
-            for step in a..=l {
-                dist[step] += 1.0 / w;
+            for d in &mut dist[a..=l] {
+                *d += 1.0 / w;
             }
         }
         // pick the unscheduled (node, step) with minimal self force
@@ -54,9 +54,9 @@ pub fn force_directed(dag: &Dag, latency: usize) -> Vec<usize> {
             for step in a..=l {
                 // self force: dist(step)*(1 - 1/w) - sum_{other steps} dist/w
                 let mut force = dist[step] * (1.0 - 1.0 / w);
-                for other in a..=l {
+                for (other, d) in dist.iter().enumerate().take(l + 1).skip(a) {
                     if other != step {
-                        force -= dist[other] / w;
+                        force -= d / w;
                     }
                 }
                 let better = match best {

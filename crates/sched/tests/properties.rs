@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use respect_graph::{SyntheticConfig, SyntheticSampler};
 use respect_sched::repair::{repair, RepairConfig};
 use respect_sched::{brute, exact, order, pack, CostModel};
@@ -62,6 +62,47 @@ proptest! {
         )
         .unwrap();
         prop_assert!(s2.is_valid(&dag));
+    }
+
+    #[test]
+    fn repair_legalizes_fully_arbitrary_predictions(
+        seed in 0u64..5_000,
+        stages in 1usize..6,
+        raw_seed in 0u64..1_000,
+    ) {
+        // raw stages drawn uniformly from the whole usize-ish range,
+        // far outside 0..stages — the worst a broken policy could emit
+        let dag = sample(12, 3, seed);
+        let mut rng = StdRng::seed_from_u64(raw_seed);
+        let raw: Vec<usize> = (0..dag.len())
+            .map(|_| rng.gen_range(0usize..usize::MAX / 2))
+            .collect();
+        let s = repair(&dag, &raw, stages, RepairConfig::default()).unwrap();
+        prop_assert!(s.is_valid(&dag));
+        prop_assert!(s.stage_of().iter().all(|&st| st < stages));
+    }
+
+    #[test]
+    fn repair_never_worsens_an_already_valid_schedule(
+        seed in 0u64..5_000,
+        stages in 1usize..7,
+        order_seed in 0u64..100,
+    ) {
+        // dependency repair must be the identity on valid schedules —
+        // which implies the objective cannot get worse
+        let dag = sample(18, 3, seed);
+        let model = CostModel::coral();
+        let mut rng = StdRng::seed_from_u64(order_seed);
+        let sequence = order::random_topo_order(&dag, &mut rng);
+        let (valid, _) = pack::pack(&dag, &sequence, stages, &model);
+        let repaired = repair(
+            &dag,
+            valid.stage_of(),
+            stages,
+            RepairConfig { sibling_stages: false, ..RepairConfig::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(repaired.stage_of(), valid.stage_of());
     }
 }
 

@@ -1,0 +1,187 @@
+//! Minimal, dependency-free stand-in for the slice of `proptest` this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the subset the test suites rely on:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in 0u64..100) {...} }`
+//! * integer / float `Range` and `RangeInclusive` strategies,
+//! * `prop_assert!`, `prop_assert_eq!`, and [`ProptestConfig::with_cases`].
+//!
+//! Cases are sampled deterministically from a seed derived from the test
+//! name, so failures reproduce exactly. There is no shrinking: a failing
+//! case reports the case index and panics with the assertion message.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values for one property argument.
+pub trait Strategy {
+    type Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_numeric_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_numeric_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Stable FNV-1a hash of the test name: the per-property RNG seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fresh deterministic RNG for a named property.
+pub fn rng_for(name: &str) -> TestRng {
+    TestRng::seed_from_u64(seed_for(name))
+}
+
+/// Property-test assertion; panics with context on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Property-test equality assertion; panics with both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        assert_eq!($lhs, $rhs)
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {
+        assert_eq!($lhs, $rhs, $($fmt)*)
+    };
+}
+
+/// Declares deterministic property tests over range strategies.
+///
+/// Mirrors proptest's macro shape: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose arguments are drawn `name in strategy` per case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (
+        @with_cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)*
+                    let run = || $body;
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case {case}/{} failed in {}: inputs {}",
+                            config.cases,
+                            stringify!($name),
+                            [$((stringify!($arg), format!("{:?}", $arg))),*]
+                                .iter()
+                                .map(|(k, v)| format!("{k} = {v}"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@with_cfg ($crate::ProptestConfig::default())
+            $($(#[$meta])* fn $name($($arg in $strat),*) $body)*
+        );
+    };
+}
+
+/// `use proptest::prelude::*;` — everything the test files expect.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 1usize..10, y in 0u64..=5) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(y <= 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in -3i32..3) {
+            prop_assert_eq!(v.signum().abs() <= 1, true);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+}

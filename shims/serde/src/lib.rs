@@ -1,0 +1,23 @@
+//! Minimal stand-in for `serde`'s derive macros.
+//!
+//! The workspace persists models through its own binary format
+//! (`respect_nn::serialize` / `respect_core::model_io`), so `serde` is
+//! only referenced for `#[derive(Serialize, Deserialize)]` annotations on
+//! plain data structs — nothing in the tree calls serde's traits. Since
+//! the build environment cannot reach crates.io, this proc-macro crate
+//! accepts those derives and expands to nothing, keeping the annotations
+//! (and the upgrade path to real serde) intact.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted, expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted, expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
