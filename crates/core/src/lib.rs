@@ -45,6 +45,6 @@ pub mod scheduler;
 pub mod train;
 
 pub use embedding::{embed, EmbeddingConfig};
-pub use policy::{DecodeMode, PolicyConfig, PtrNetPolicy};
+pub use policy::{BatchRollout, DecodeMode, PolicyConfig, PtrNetPolicy};
 pub use scheduler::RespectScheduler;
-pub use train::{train_policy, TrainConfig, TrainReport};
+pub use train::{train_policy, Baseline, TrainConfig, TrainReport, Trainer};

@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 use respect_graph::{Dag, NodeId};
 use respect_nn::attention::AttentionSpec;
 use respect_nn::lstm::LstmSpec;
-use respect_nn::tape::{masked_softmax, Tape, Var};
+use respect_nn::tape::{masked_softmax, masked_softmax_cols, Tape, Var};
 use respect_nn::{init, Bindings, Matrix, Params};
 
 use crate::embedding::EmbeddingConfig;
@@ -99,6 +99,16 @@ pub struct Rollout {
     pub sequence: Vec<NodeId>,
     /// `Σ_t log p(π(t) | π(<t), G)` as a tape scalar.
     pub log_prob: Var,
+}
+
+/// A differentiable batched decode over `B` equal-sized graphs.
+#[derive(Debug)]
+pub struct BatchRollout {
+    /// Emitted node sequence `π` per graph, in input order.
+    pub sequences: Vec<Vec<NodeId>>,
+    /// Per-graph summed log-probabilities as a `[1, B]` tape row; column
+    /// `g` is `Σ_t log p(π_g(t) | π_g(<t), G_g)`.
+    pub log_probs: Var,
 }
 
 /// The LSTM pointer network with its trainable parameters.
@@ -208,8 +218,10 @@ impl PtrNetPolicy {
             let scores = pointer.scores(tape, proj_p, g);
             let logp = tape.log_softmax_masked(scores, mask.as_slice());
             let idx = match mode {
-                DecodeMode::Greedy => argmax_unmasked(tape.value(logp), mask.as_slice()),
-                DecodeMode::Sample(rng) => sample_unmasked(tape.value(logp), mask.as_slice(), rng),
+                DecodeMode::Greedy => argmax_unmasked_col(tape.value(logp), 0, mask.as_slice()),
+                DecodeMode::Sample(rng) => {
+                    sample_unmasked_col(tape.value(logp), 0, mask.as_slice(), rng)
+                }
             };
             let lp = tape.pick(logp, idx);
             log_prob_total = Some(match log_prob_total {
@@ -224,6 +236,124 @@ impl PtrNetPolicy {
         Rollout {
             sequence,
             log_prob: log_prob_total.expect("graphs are nonempty"),
+        }
+    }
+
+    /// Differentiable **batched** rollout: decodes `B` equal-sized graphs
+    /// in lock step, one tape op per decoding step for the whole batch
+    /// instead of one per graph. Each graph consumes its own
+    /// [`DecodeMode`] (`modes[g]`), so per-graph results — sequences and
+    /// log-probabilities alike — are identical to `B` serial
+    /// [`rollout`](PtrNetPolicy::rollout) calls with the same modes (the
+    /// determinism tests pin this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, graphs differ in node count, feature
+    /// matrices do not match the embedding config, or
+    /// `modes.len() != items.len()`.
+    pub fn rollout_batch(
+        &self,
+        tape: &mut Tape,
+        bindings: &Bindings,
+        items: &[(&Dag, &Matrix)],
+        modes: &mut [DecodeMode],
+    ) -> BatchRollout {
+        let b = items.len();
+        assert!(b > 0, "batch must be nonempty");
+        assert_eq!(modes.len(), b, "one decode mode per graph");
+        let n = items[0].0.len();
+        let feat = self.config.embedding.feature_dim();
+        for (dag, features) in items {
+            assert_eq!(dag.len(), n, "batched graphs must be equal-sized");
+            assert_eq!(features.shape(), (feat, n), "feature matrix shape");
+        }
+        let enc = LstmSpec::new("enc", self.config.hidden, self.config.hidden).bind(bindings);
+        let dec = LstmSpec::new("dec", self.config.hidden, self.config.hidden).bind(bindings);
+        let glimpse = AttentionSpec::new("glimpse", self.config.hidden).bind(bindings);
+        let pointer = AttentionSpec::new("pointer", self.config.hidden).bind(bindings);
+        let proj_w = bindings.var("proj.w");
+
+        // stack features graph-major ([feat, B*n]; graph g owns columns
+        // g*n..(g+1)*n) and project the whole batch in one matmul
+        let mut stacked = Matrix::zeros(feat, b * n);
+        for (g, (_, features)) in items.iter().enumerate() {
+            for r in 0..feat {
+                for i in 0..n {
+                    stacked.set(r, g * n + i, features.get(r, i));
+                }
+            }
+        }
+        let feats = tape.leaf(stacked);
+        let projected = tape.matmul(proj_w, feats); // [h, B*n]
+
+        // encode all graphs in lock step: step t consumes node t of every
+        // graph as one [h, B] input column block
+        let s0 = enc.zero_state_batch(tape, b);
+        let mut state = s0;
+        let mut hs = Vec::with_capacity(n);
+        for t in 0..n {
+            let cols: Vec<usize> = (0..b).map(|g| g * n + t).collect();
+            let x = tape.gather_cols(projected, &cols);
+            state = enc.step_batch(tape, x, state);
+            hs.push(state.h);
+        }
+        let enc_last = state;
+        // hs concatenated is time-major ([h, n*B], column t*B + g); regroup
+        // graph-major so attention sees per-graph context blocks
+        let time_major = tape.concat_cols(&hs);
+        let perm: Vec<usize> = (0..b * n).map(|c| (c % n) * b + c / n).collect();
+        let context = tape.gather_cols(time_major, &perm); // [h, B*n]
+        let proj_g = glimpse.project_context(tape, context);
+        let proj_p = pointer.project_context(tape, context);
+
+        // decode with pointing, one batched step per output position
+        let mut masks: Vec<MaskState> = items
+            .iter()
+            .map(|(dag, _)| self.mask_init(dag))
+            .collect();
+        let dec0 = bindings.var("dec0");
+        let mut d = tape.concat_cols(&vec![dec0; b]); // [h, B]
+        let mut state = enc_last;
+        let mut sequences = vec![Vec::with_capacity(n); b];
+        let mut log_prob_total: Option<Var> = None;
+        let mut flat_masks = vec![false; b * n];
+        for _ in 0..n {
+            state = dec.step_batch(tape, d, state);
+            for (g, mask) in masks.iter().enumerate() {
+                flat_masks[g * n..(g + 1) * n].copy_from_slice(mask.as_slice());
+            }
+            let g = glimpse.glimpse_batch(tape, context, proj_g, state.h, n, &flat_masks);
+            let scores = pointer.scores_batch(tape, proj_p, g, n);
+            let logp = tape.log_softmax_masked_cols(scores, &flat_masks);
+            let mut choices = Vec::with_capacity(b);
+            for (g, mode) in modes.iter_mut().enumerate() {
+                let mask = &flat_masks[g * n..(g + 1) * n];
+                let idx = match mode {
+                    DecodeMode::Greedy => argmax_unmasked_col(tape.value(logp), g, mask),
+                    DecodeMode::Sample(rng) => {
+                        sample_unmasked_col(tape.value(logp), g, mask, rng)
+                    }
+                };
+                choices.push(idx);
+            }
+            let lp = tape.pick_cols(logp, &choices); // [1, B]
+            log_prob_total = Some(match log_prob_total {
+                None => lp,
+                Some(acc) => tape.add(acc, lp),
+            });
+            let mut next_cols = Vec::with_capacity(b);
+            for (g, &idx) in choices.iter().enumerate() {
+                let v = NodeId(idx as u32);
+                sequences[g].push(v);
+                masks[g].emit(items[g].0, v);
+                next_cols.push(g * n + idx);
+            }
+            d = tape.gather_cols(projected, &next_cols);
+        }
+        BatchRollout {
+            sequences,
+            log_probs: log_prob_total.expect("graphs are nonempty"),
         }
     }
 
@@ -281,10 +411,10 @@ impl PtrNetPolicy {
                 &g,
             );
             let idx = match mode {
-                DecodeMode::Greedy => argmax_unmasked(&u, mask.as_slice()),
+                DecodeMode::Greedy => argmax_unmasked_col(&u, 0, mask.as_slice()),
                 DecodeMode::Sample(rng) => {
                     let probs = masked_softmax(&u, mask.as_slice());
-                    sample_probs(&probs, mask.as_slice(), rng)
+                    sample_probs_col(&probs, 0, mask.as_slice(), rng)
                 }
             };
             let v = NodeId(idx as u32);
@@ -293,6 +423,128 @@ impl PtrNetPolicy {
             d = column(&proj, idx);
         }
         sequence
+    }
+
+    /// Gradient-free **batched** decode: `B` equal-sized graphs run in
+    /// lock step with one kernel call per decoding step. Per-graph results
+    /// match `B` serial [`decode`](PtrNetPolicy::decode) calls with the
+    /// same modes; use this for deployment-time throughput and for the
+    /// greedy-rollout baseline during training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty, graphs differ in node count, feature
+    /// matrices do not match the embedding config, or
+    /// `modes.len() != items.len()`.
+    pub fn decode_batch(
+        &self,
+        items: &[(&Dag, &Matrix)],
+        modes: &mut [DecodeMode],
+    ) -> Vec<Vec<NodeId>> {
+        let b = items.len();
+        assert!(b > 0, "batch must be nonempty");
+        assert_eq!(modes.len(), b, "one decode mode per graph");
+        let n = items[0].0.len();
+        let feat = self.config.embedding.feature_dim();
+        for (dag, features) in items {
+            assert_eq!(dag.len(), n, "batched graphs must be equal-sized");
+            assert_eq!(features.shape(), (feat, n), "feature matrix shape");
+        }
+        let h = self.config.hidden;
+        let p = |name: &str| self.params.get(name).expect("registered weight");
+
+        let mut stacked = Matrix::zeros(feat, b * n);
+        for (g, (_, features)) in items.iter().enumerate() {
+            for r in 0..feat {
+                for i in 0..n {
+                    stacked.set(r, g * n + i, features.get(r, i));
+                }
+            }
+        }
+        let proj = p("proj.w").matmul(&stacked); // [h, B*n]
+
+        // encoder, all graphs in lock step
+        let w_enc = p("enc.w");
+        let b_enc = p("enc.b");
+        let mut hx = Matrix::zeros(h, b);
+        let mut cx = Matrix::zeros(h, b);
+        let mut context = Matrix::zeros(h, b * n);
+        for t in 0..n {
+            let cols: Vec<usize> = (0..b).map(|g| g * n + t).collect();
+            let x = proj.gather_cols(&cols);
+            let (nh, nc) = lstm_step_raw(w_enc, b_enc, &x, &hx, &cx, h);
+            for g in 0..b {
+                for r in 0..h {
+                    context.set(r, g * n + t, nh.get(r, g));
+                }
+            }
+            hx = nh;
+            cx = nc;
+        }
+        let g_ref = p("glimpse.w_ref").matmul(&context);
+        let p_ref = p("pointer.w_ref").matmul(&context);
+
+        // decoder
+        let w_dec = p("dec.w");
+        let b_dec = p("dec.b");
+        let mut masks: Vec<MaskState> = items
+            .iter()
+            .map(|(dag, _)| self.mask_init(dag))
+            .collect();
+        let dec0 = p("dec0");
+        let mut d = Matrix::zeros(h, b);
+        for g in 0..b {
+            for r in 0..h {
+                d.set(r, g, dec0.get(r, 0));
+            }
+        }
+        let mut sequences = vec![Vec::with_capacity(n); b];
+        let mut flat_masks = vec![false; b * n];
+        for _ in 0..n {
+            let (nh, nc) = lstm_step_raw(w_dec, b_dec, &d, &hx, &cx, h);
+            hx = nh;
+            cx = nc;
+            for (g, mask) in masks.iter().enumerate() {
+                flat_masks[g * n..(g + 1) * n].copy_from_slice(mask.as_slice());
+            }
+            // glimpse
+            let gu = attention_scores_raw(
+                &g_ref,
+                p("glimpse.w_q"),
+                p("glimpse.v"),
+                p("glimpse.b"),
+                &hx,
+            );
+            let gprobs = masked_softmax_cols(&gu, &flat_masks);
+            let gl = context.block_matvec(&gprobs);
+            // pointer
+            let u = attention_scores_raw(
+                &p_ref,
+                p("pointer.w_q"),
+                p("pointer.v"),
+                p("pointer.b"),
+                &gl,
+            );
+            let mut next_cols = Vec::with_capacity(b);
+            for (g, mode) in modes.iter_mut().enumerate() {
+                let mask = &flat_masks[g * n..(g + 1) * n];
+                let idx = match mode {
+                    DecodeMode::Greedy => argmax_unmasked_col(&u, g, mask),
+                    DecodeMode::Sample(rng) => {
+                        // softmax of lane g only (bitwise-equal to the
+                        // per-column batched softmax)
+                        let probs = masked_softmax(&column(&u, g), mask);
+                        sample_probs_col(&probs, 0, mask, rng)
+                    }
+                };
+                let v = NodeId(idx as u32);
+                sequences[g].push(v);
+                masks[g].emit(items[g].0, v);
+                next_cols.push(g * n + idx);
+            }
+            d = proj.gather_cols(&next_cols);
+        }
+        sequences
     }
 }
 
@@ -348,6 +600,8 @@ fn column(m: &Matrix, i: usize) -> Matrix {
     out
 }
 
+/// One raw LSTM step over `B` lanes (`x`, `h`, `c` are `[·, B]`; the bias
+/// broadcasts per column). With `B = 1` this is the serial decode step.
 fn lstm_step_raw(
     w: &Matrix,
     b: &Matrix,
@@ -356,30 +610,45 @@ fn lstm_step_raw(
     c: &Matrix,
     hidden: usize,
 ) -> (Matrix, Matrix) {
-    let mut xin = Matrix::zeros(x.rows() + h.rows(), 1);
+    let cols = x.cols();
+    let mut xin = Matrix::zeros(x.rows() + h.rows(), cols);
     for r in 0..x.rows() {
-        xin.set(r, 0, x.get(r, 0));
+        for cc in 0..cols {
+            xin.set(r, cc, x.get(r, cc));
+        }
     }
     for r in 0..h.rows() {
-        xin.set(x.rows() + r, 0, h.get(r, 0));
+        for cc in 0..cols {
+            xin.set(x.rows() + r, cc, h.get(r, cc));
+        }
     }
     let mut z = w.matmul(&xin);
-    z.add_assign(b);
+    for r in 0..z.rows() {
+        let bv = b.get(r, 0);
+        for cc in 0..cols {
+            z.set(r, cc, z.get(r, cc) + bv);
+        }
+    }
     let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
-    let mut nh = Matrix::zeros(hidden, 1);
-    let mut nc = Matrix::zeros(hidden, 1);
+    let mut nh = Matrix::zeros(hidden, cols);
+    let mut nc = Matrix::zeros(hidden, cols);
     for r in 0..hidden {
-        let i = sig(z.get(r, 0));
-        let f = sig(z.get(hidden + r, 0));
-        let g = z.get(2 * hidden + r, 0).tanh();
-        let o = sig(z.get(3 * hidden + r, 0));
-        let cv = f * c.get(r, 0) + i * g;
-        nc.set(r, 0, cv);
-        nh.set(r, 0, o * cv.tanh());
+        for cc in 0..cols {
+            let i = sig(z.get(r, cc));
+            let f = sig(z.get(hidden + r, cc));
+            let g = z.get(2 * hidden + r, cc).tanh();
+            let o = sig(z.get(3 * hidden + r, cc));
+            let cv = f * c.get(r, cc) + i * g;
+            nc.set(r, cc, cv);
+            nh.set(r, cc, o * cv.tanh());
+        }
     }
     (nh, nc)
 }
 
+/// Additive-attention scores over `B` stacked context blocks: `projected`
+/// is `[h, B*n]` graph-major, `q` is one query column per graph, and the
+/// result is `[n, B]`. With `B = 1` this is the serial scores kernel.
 fn attention_scores_raw(
     projected: &Matrix,
     w_q: &Matrix,
@@ -387,33 +656,41 @@ fn attention_scores_raw(
     b: &Matrix,
     q: &Matrix,
 ) -> Matrix {
+    let bsz = q.cols();
+    let n = projected.cols() / bsz;
     let mut qp = w_q.matmul(q);
-    qp.add_assign(b);
-    let n = projected.cols();
+    for r in 0..qp.rows() {
+        let bv = b.get(r, 0);
+        for g in 0..bsz {
+            qp.set(r, g, qp.get(r, g) + bv);
+        }
+    }
     let h = projected.rows();
-    let mut scores = Matrix::zeros(n, 1);
-    let out = scores.as_mut_slice();
+    let mut scores = Matrix::zeros(n, bsz);
     let proj = projected.as_slice();
     // row-major sweep: contiguous access to each projection row
     for r in 0..h {
         let vr = v.get(r, 0);
-        let qpr = qp.get(r, 0);
-        let row = &proj[r * n..(r + 1) * n];
-        for (o, &p) in out.iter_mut().zip(row) {
-            *o += vr * (p + qpr).tanh();
+        for g in 0..bsz {
+            let qpr = qp.get(r, g);
+            let row = &proj[r * (n * bsz) + g * n..r * (n * bsz) + (g + 1) * n];
+            for (i, &p) in row.iter().enumerate() {
+                let cur = scores.get(i, g);
+                scores.set(i, g, cur + vr * (p + qpr).tanh());
+            }
         }
     }
     scores
 }
 
-fn argmax_unmasked(logits: &Matrix, mask: &[bool]) -> usize {
+fn argmax_unmasked_col(logits: &Matrix, col: usize, mask: &[bool]) -> usize {
     assert_eq!(mask.len(), logits.rows(), "mask length");
     let mut best = None;
     for (i, &masked) in mask.iter().enumerate() {
         if masked {
             continue;
         }
-        let v = logits.get(i, 0);
+        let v = logits.get(i, col);
         match best {
             None => best = Some((i, v)),
             Some((_, bv)) if v > bv => best = Some((i, v)),
@@ -423,25 +700,25 @@ fn argmax_unmasked(logits: &Matrix, mask: &[bool]) -> usize {
     best.expect("at least one unmasked candidate").0
 }
 
-fn sample_unmasked(logp: &Matrix, mask: &[bool], rng: &mut StdRng) -> usize {
+fn sample_unmasked_col(logp: &Matrix, col: usize, mask: &[bool], rng: &mut StdRng) -> usize {
     assert_eq!(mask.len(), logp.rows(), "mask length");
     // logp already normalized: exponentiate the unmasked entries
     let mut probs = Matrix::zeros(logp.rows(), 1);
     for (i, &masked) in mask.iter().enumerate() {
         if !masked {
-            probs.set(i, 0, logp.get(i, 0).exp());
+            probs.set(i, 0, logp.get(i, col).exp());
         }
     }
-    sample_probs(&probs, mask, rng)
+    sample_probs_col(&probs, 0, mask, rng)
 }
 
-fn sample_probs(probs: &Matrix, mask: &[bool], rng: &mut StdRng) -> usize {
+fn sample_probs_col(probs: &Matrix, col: usize, mask: &[bool], rng: &mut StdRng) -> usize {
     assert_eq!(mask.len(), probs.rows(), "mask length");
     let total: f32 = mask
         .iter()
         .enumerate()
         .filter(|&(_, &m)| !m)
-        .map(|(i, _)| probs.get(i, 0))
+        .map(|(i, _)| probs.get(i, col))
         .sum();
     let mut r = rng.gen_range(0.0..1.0f32) * total;
     let mut last = None;
@@ -450,7 +727,7 @@ fn sample_probs(probs: &Matrix, mask: &[bool], rng: &mut StdRng) -> usize {
             continue;
         }
         last = Some(i);
-        r -= probs.get(i, 0);
+        r -= probs.get(i, col);
         if r <= 0.0 {
             return i;
         }
@@ -556,6 +833,105 @@ mod tests {
         let feats = embed(&big, &policy.config().embedding);
         let seq = policy.decode(&big, &feats, &mut DecodeMode::Greedy);
         assert!(topo::is_topological_order(&big, &seq));
+    }
+
+    fn batch_fixture(count: usize) -> (PtrNetPolicy, Vec<(respect_graph::Dag, Matrix)>) {
+        let config = PolicyConfig {
+            hidden: 16,
+            embedding: EmbeddingConfig { max_parents: 2 },
+            dependency_masking: true,
+            seed: 11,
+        };
+        let policy = PtrNetPolicy::new(config);
+        let items: Vec<_> = (0..count)
+            .map(|i| {
+                let dag = SyntheticSampler::new(
+                    SyntheticConfig {
+                        num_nodes: 10,
+                        ..SyntheticConfig::paper(2 + i % 3)
+                    },
+                    40 + i as u64,
+                )
+                .sample();
+                let feats = embed(&dag, &config.embedding);
+                (dag, feats)
+            })
+            .collect();
+        (policy, items)
+    }
+
+    #[test]
+    fn decode_batch_matches_serial_decode() {
+        let (policy, items) = batch_fixture(4);
+        let refs: Vec<(&respect_graph::Dag, &Matrix)> =
+            items.iter().map(|(d, f)| (d, f)).collect();
+        // greedy
+        let mut modes: Vec<DecodeMode> = (0..4).map(|_| DecodeMode::Greedy).collect();
+        let batched = policy.decode_batch(&refs, &mut modes);
+        for (g, (dag, feats)) in items.iter().enumerate() {
+            let serial = policy.decode(dag, feats, &mut DecodeMode::Greedy);
+            assert_eq!(batched[g], serial, "greedy lane {g}");
+        }
+        // sampled, per-graph seeds
+        let mut modes: Vec<DecodeMode> = (0..4)
+            .map(|g| DecodeMode::sample_seeded(100 + g as u64))
+            .collect();
+        let batched = policy.decode_batch(&refs, &mut modes);
+        for (g, (dag, feats)) in items.iter().enumerate() {
+            let serial =
+                policy.decode(dag, feats, &mut DecodeMode::sample_seeded(100 + g as u64));
+            assert_eq!(batched[g], serial, "sampled lane {g}");
+        }
+    }
+
+    #[test]
+    fn rollout_batch_matches_serial_rollout() {
+        let (policy, items) = batch_fixture(3);
+        let refs: Vec<(&respect_graph::Dag, &Matrix)> =
+            items.iter().map(|(d, f)| (d, f)).collect();
+        let mut modes: Vec<DecodeMode> = (0..3)
+            .map(|g| DecodeMode::sample_seeded(7 + g as u64))
+            .collect();
+        let mut tape = Tape::new();
+        let bindings = policy.bind(&mut tape);
+        let batch = policy.rollout_batch(&mut tape, &bindings, &refs, &mut modes);
+        assert_eq!(tape.value(batch.log_probs).shape(), (1, 3));
+        for (g, (dag, feats)) in items.iter().enumerate() {
+            let mut t = Tape::new();
+            let b = policy.bind(&mut t);
+            let serial = policy.rollout(
+                &mut t,
+                &b,
+                dag,
+                feats,
+                &mut DecodeMode::sample_seeded(7 + g as u64),
+            );
+            assert_eq!(batch.sequences[g], serial.sequence, "lane {g} sequence");
+            let lp_batch = tape.value(batch.log_probs).get(0, g);
+            let lp_serial = t.value(serial.log_prob).get(0, 0);
+            assert_eq!(
+                lp_batch.to_bits(),
+                lp_serial.to_bits(),
+                "lane {g} log-prob: batched {lp_batch} vs serial {lp_serial}"
+            );
+        }
+    }
+
+    #[test]
+    fn rollout_batch_gradients_flow() {
+        let (policy, items) = batch_fixture(2);
+        let refs: Vec<(&respect_graph::Dag, &Matrix)> =
+            items.iter().map(|(d, f)| (d, f)).collect();
+        let mut modes: Vec<DecodeMode> = (0..2).map(|_| DecodeMode::Greedy).collect();
+        let mut tape = Tape::new();
+        let bindings = policy.bind(&mut tape);
+        let batch = policy.rollout_batch(&mut tape, &bindings, &refs, &mut modes);
+        let loss0 = tape.sum(batch.log_probs);
+        let loss = tape.scale(loss0, -1.0);
+        tape.backward(loss);
+        let g = bindings.grads(&tape);
+        let total: f32 = g.iter().map(|m| m.max_abs()).sum();
+        assert!(total > 0.0, "gradients must reach the parameters");
     }
 
     #[test]

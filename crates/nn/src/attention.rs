@@ -110,6 +110,36 @@ impl AttentionHead {
         let p = tape.softmax_masked(u, mask);
         tape.matmul(context, p)
     }
+
+    /// Batched scores: `projected` stacks `B` projected contexts
+    /// graph-major (`[d, B*n]`), `q` holds one query column per graph
+    /// (`[d, B]`); returns `[n, B]` whose column `g` equals
+    /// [`scores`](AttentionHead::scores) on graph `g` alone.
+    pub fn scores_batch(&self, tape: &mut Tape, projected: Var, q: Var, n: usize) -> Var {
+        let qp = tape.matmul(self.w_q, q);
+        let qb = tape.add_col_broadcast(qp, self.b);
+        let s = tape.add_block_broadcast(projected, qb, n);
+        let u = tape.tanh(s);
+        let row = tape.matmul_ta(self.v, u); // [1, B*n]
+        tape.unflatten_row(row, n)
+    }
+
+    /// Batched glimpse over stacked contexts (`context`, `projected` are
+    /// `[d, B*n]`; `masks[g*n + i]` masks node `i` of graph `g`); returns
+    /// `[d, B]` with one refined query column per graph.
+    pub fn glimpse_batch(
+        &self,
+        tape: &mut Tape,
+        context: Var,
+        projected: Var,
+        q: Var,
+        n: usize,
+        masks: &[bool],
+    ) -> Var {
+        let u = self.scores_batch(tape, projected, q, n);
+        let p = tape.softmax_masked_cols(u, masks);
+        tape.block_matvec(context, p)
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +213,72 @@ mod tests {
         assert_ne!(tape.value(g_all), tape.value(g_mask));
         // masked glimpse cannot see the huge value
         assert!(tape.value(g_mask).get(0, 0) < 10.0);
+    }
+
+    #[test]
+    fn batched_scores_and_glimpse_match_serial_per_graph() {
+        let (params, spec) = head_fixture(3);
+        let n = 4;
+        let ctx_a = context(3, n);
+        let ctx_b = {
+            let mut m = context(3, n);
+            for i in 0..m.rows() * m.cols() {
+                m.as_mut_slice()[i] *= -0.5;
+            }
+            m
+        };
+        let queries = [[0.2f32, -0.4, 0.8], [-0.1, 0.6, 0.0]];
+        let masks = [vec![false, true, false, false], vec![false; 4]];
+
+        // batched pass: contexts stacked graph-major, queries as columns
+        let mut tape = Tape::new();
+        let binds = params.bind(&mut tape);
+        let head = spec.bind(&binds);
+        let mut stacked = Matrix::zeros(3, 2 * n);
+        for (g, ctx) in [&ctx_a, &ctx_b].iter().enumerate() {
+            for r in 0..3 {
+                for i in 0..n {
+                    stacked.set(r, g * n + i, ctx.get(r, i));
+                }
+            }
+        }
+        let c = tape.leaf(stacked);
+        let mut q = Matrix::zeros(3, 2);
+        for (g, col) in queries.iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                q.set(r, g, v);
+            }
+        }
+        let qv = tape.leaf(q);
+        let proj = head.project_context(&mut tape, c);
+        let scores = head.scores_batch(&mut tape, proj, qv, n);
+        let flat_masks: Vec<bool> = masks.iter().flatten().copied().collect();
+        let glimpse = head.glimpse_batch(&mut tape, c, proj, qv, n, &flat_masks);
+
+        for (g, ctx) in [&ctx_a, &ctx_b].iter().enumerate() {
+            let mut t = Tape::new();
+            let b = params.bind(&mut t);
+            let h = spec.bind(&b);
+            let cv = t.leaf((*ctx).clone());
+            let qv1 = t.leaf(Matrix::col_from_slice(&queries[g]));
+            let p1 = h.project_context(&mut t, cv);
+            let u1 = h.scores(&mut t, p1, qv1);
+            let g1 = h.glimpse(&mut t, cv, p1, qv1, &masks[g]);
+            for i in 0..n {
+                assert_eq!(
+                    tape.value(scores).get(i, g).to_bits(),
+                    t.value(u1).get(i, 0).to_bits(),
+                    "score {i} of graph {g}"
+                );
+            }
+            for r in 0..3 {
+                assert_eq!(
+                    tape.value(glimpse).get(r, g).to_bits(),
+                    t.value(g1).get(r, 0).to_bits(),
+                    "glimpse row {r} of graph {g}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -125,6 +125,44 @@ impl LstmCell {
         LstmState { h: hn, c }
     }
 
+    /// All-zero initial state for a batch of `batch` lanes (`[h, batch]`
+    /// state matrices; lane `g` is column `g`).
+    pub fn zero_state_batch(&self, tape: &mut Tape, batch: usize) -> LstmState {
+        LstmState {
+            h: tape.leaf(Matrix::zeros(self.hidden, batch)),
+            c: tape.leaf(Matrix::zeros(self.hidden, batch)),
+        }
+    }
+
+    /// One step over a whole batch: `x` and the state are `[·, B]`
+    /// matrices with one batch lane per column. Column `g` of the result
+    /// equals a [`step`](LstmCell::step) on column `g` alone (the bias is
+    /// broadcast per column; all other ops are already column-local).
+    ///
+    /// # Panics
+    ///
+    /// Panics (inside tape ops) on shape mismatches.
+    pub fn step_batch(&self, tape: &mut Tape, x: Var, state: LstmState) -> LstmState {
+        let h = self.hidden;
+        let xin = tape.concat_rows(x, state.h);
+        let z0 = tape.matmul(self.w, xin);
+        let z = tape.add_col_broadcast(z0, self.b);
+        let i = tape.slice_rows(z, 0, h);
+        let f = tape.slice_rows(z, h, h);
+        let g = tape.slice_rows(z, 2 * h, h);
+        let o = tape.slice_rows(z, 3 * h, h);
+        let ig = tape.sigmoid(i);
+        let fg = tape.sigmoid(f);
+        let gg = tape.tanh(g);
+        let og = tape.sigmoid(o);
+        let fc = tape.mul_elem(fg, state.c);
+        let igg = tape.mul_elem(ig, gg);
+        let c = tape.add(fc, igg);
+        let ct = tape.tanh(c);
+        let hn = tape.mul_elem(og, ct);
+        LstmState { h: hn, c }
+    }
+
     /// Runs the cell over a sequence of inputs, returning every hidden
     /// state and the final state.
     pub fn run(
@@ -225,5 +263,47 @@ mod tests {
         let (p1, _) = setup(3, 5);
         let (p2, _) = setup(3, 5);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn step_batch_columns_match_serial_steps() {
+        let (params, spec) = setup(3, 4);
+        let cols = [
+            [0.3f32, -0.2, 0.9],
+            [1.1, 0.0, -0.5],
+        ];
+        // batched: both inputs as one [3, 2] matrix
+        let mut tape = Tape::new();
+        let binds = params.bind(&mut tape);
+        let cell = spec.bind(&binds);
+        let mut x = Matrix::zeros(3, 2);
+        for (g, col) in cols.iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                x.set(r, g, v);
+            }
+        }
+        let xv = tape.leaf(x);
+        let s0 = cell.zero_state_batch(&mut tape, 2);
+        let s1 = cell.step_batch(&mut tape, xv, s0);
+        let s2 = cell.step_batch(&mut tape, xv, s1);
+        let batched = tape.value(s2.h).clone();
+        // serial: one lane at a time
+        for (g, col) in cols.iter().enumerate() {
+            let mut t = Tape::new();
+            let b = params.bind(&mut t);
+            let c = spec.bind(&b);
+            let x1 = t.leaf(Matrix::col_from_slice(col));
+            let z0 = c.zero_state(&mut t);
+            let z1 = c.step(&mut t, x1, z0);
+            let z2 = c.step(&mut t, x1, z1);
+            let serial = t.value(z2.h);
+            for r in 0..4 {
+                assert_eq!(
+                    batched.get(r, g).to_bits(),
+                    serial.get(r, 0).to_bits(),
+                    "lane {g} row {r}"
+                );
+            }
+        }
     }
 }

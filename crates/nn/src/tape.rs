@@ -42,6 +42,14 @@ enum Op {
     SoftmaxMaskedCol(Var, Vec<bool>),
     LogSoftmaxMaskedCol(Var, Vec<bool>),
     Pick(Var, usize),
+    // batched primitives (one column per batch lane)
+    GatherCols(Var, Vec<usize>),
+    AddBlockBroadcast(Var, Var, usize),
+    UnflattenRow(Var, usize),
+    SoftmaxMaskedCols(Var, Vec<bool>),
+    LogSoftmaxMaskedCols(Var, Vec<bool>),
+    PickCols(Var, Vec<usize>),
+    BlockMatVec(Var, Var),
 }
 
 #[derive(Debug)]
@@ -305,6 +313,135 @@ impl Tape {
         self.push(v, Op::Pick(a, i))
     }
 
+    // --- batched primitives ------------------------------------------------
+    //
+    // These operate on matrices whose columns are batch lanes: a batch of
+    // `B` graphs with `n` nodes each is laid out either as `[h, B]` (one
+    // state column per graph) or as a graph-major block matrix `[h, B*n]`
+    // (columns `g*n..(g+1)*n` belong to graph `g`). Per-column arithmetic
+    // matches the unbatched ops exactly (same accumulation order), so a
+    // batched decode reproduces the serial decode bit for bit.
+
+    /// Gathers columns `cols[j]` of `a` into a new `[rows, cols.len()]`
+    /// matrix (e.g. one node embedding per batch lane); the forward
+    /// kernel is [`Matrix::gather_cols`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather_cols(&mut self, a: Var, cols: &[usize]) -> Var {
+        let out = self.nodes[a.0].value.gather_cols(cols);
+        self.push(out, Op::GatherCols(a, cols.to_vec()))
+    }
+
+    /// Adds column `g` of `q` (`[h, B]`) to every column of block `g` of
+    /// `m` (`[h, B*block]`) — the batched form of
+    /// [`add_col_broadcast`](Tape::add_col_broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m.cols() == q.cols() * block` and heights match.
+    pub fn add_block_broadcast(&mut self, m: Var, q: Var, block: usize) -> Var {
+        let (mm, qq) = (&self.nodes[m.0].value, &self.nodes[q.0].value);
+        assert_eq!(mm.rows(), qq.rows(), "broadcast height mismatch");
+        assert_eq!(mm.cols(), qq.cols() * block, "block count mismatch");
+        let mut out = mm.clone();
+        for r in 0..out.rows() {
+            for g in 0..qq.cols() {
+                let b = qq.get(r, g);
+                for i in 0..block {
+                    let c = g * block + i;
+                    out.set(r, c, out.get(r, c) + b);
+                }
+            }
+        }
+        self.push(out, Op::AddBlockBroadcast(m, q, block))
+    }
+
+    /// Reinterprets a `[1, B*rows]` row as a `[rows, B]` matrix with
+    /// `out[i, g] = a[0, g*rows + i]` (per-graph score columns from a
+    /// blocked `vᵀ tanh(..)` contraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a` is a single row whose length divides by `rows`.
+    pub fn unflatten_row(&mut self, a: Var, rows: usize) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.rows(), 1, "unflatten_row takes a row vector");
+        assert_eq!(av.cols() % rows, 0, "row length must divide by rows");
+        let b = av.cols() / rows;
+        let mut out = Matrix::zeros(rows, b);
+        for g in 0..b {
+            for i in 0..rows {
+                out.set(i, g, av.get(0, g * rows + i));
+            }
+        }
+        self.push(out, Op::UnflattenRow(a, rows))
+    }
+
+    /// Per-column masked softmax over `[n, B]`; `masks[g*n + i]` masks row
+    /// `i` of column `g`. Each column reproduces
+    /// [`softmax_masked`](Tape::softmax_masked) exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mask-length mismatch or a fully masked column.
+    pub fn softmax_masked_cols(&mut self, a: Var, masks: &[bool]) -> Var {
+        let v = masked_softmax_cols(&self.nodes[a.0].value, masks);
+        self.push(v, Op::SoftmaxMaskedCols(a, masks.to_vec()))
+    }
+
+    /// Per-column masked log-softmax over `[n, B]` (masked entries get
+    /// [`NEG_INF_LOGIT`]); the batched form of
+    /// [`log_softmax_masked`](Tape::log_softmax_masked).
+    ///
+    /// # Panics
+    ///
+    /// Panics on mask-length mismatch or a fully masked column.
+    pub fn log_softmax_masked_cols(&mut self, a: Var, masks: &[bool]) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (n, b) = av.shape();
+        assert_eq!(masks.len(), n * b, "mask length");
+        let mut out = Matrix::zeros(n, b);
+        for g in 0..b {
+            let mask = &masks[g * n..(g + 1) * n];
+            let lse = col_masked_log_sum_exp(av, g, mask);
+            for (i, &masked) in mask.iter().enumerate() {
+                let y = if masked { NEG_INF_LOGIT } else { av.get(i, g) - lse };
+                out.set(i, g, y);
+            }
+        }
+        self.push(out, Op::LogSoftmaxMaskedCols(a, masks.to_vec()))
+    }
+
+    /// Picks entry `indices[g]` of every column `g`, producing a `[1, B]`
+    /// row (the chosen log-probability per batch lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `indices.len() == a.cols()` and indices are in range.
+    pub fn pick_cols(&mut self, a: Var, indices: &[usize]) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(indices.len(), av.cols(), "one index per column");
+        let mut out = Matrix::zeros(1, av.cols());
+        for (g, &i) in indices.iter().enumerate() {
+            assert!(i < av.rows(), "pick index out of range");
+            out.set(0, g, av.get(i, g));
+        }
+        self.push(out, Op::PickCols(a, indices.to_vec()))
+    }
+
+    /// Block-diagonal matrix-vector product (the batched glimpse
+    /// contraction); the forward kernel is [`Matrix::block_matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c.cols() == p.rows() * p.cols()`.
+    pub fn block_matvec(&mut self, c: Var, p: Var) -> Var {
+        let out = self.nodes[c.0].value.block_matvec(&self.nodes[p.0].value);
+        self.push(out, Op::BlockMatVec(c, p))
+    }
+
     // --- backward ----------------------------------------------------------
 
     /// Runs reverse-mode accumulation from scalar `loss`.
@@ -472,6 +609,114 @@ impl Tape {
                     let cur = self.grads[a.0].get(i, 0);
                     self.grads[a.0].set(i, 0, cur + s);
                 }
+                Op::GatherCols(a, cols) => {
+                    let ga = &mut self.grads[a.0];
+                    for (j, &c) in cols.iter().enumerate() {
+                        for r in 0..g.rows() {
+                            let cur = ga.get(r, c);
+                            ga.set(r, c, cur + g.get(r, j));
+                        }
+                    }
+                }
+                Op::AddBlockBroadcast(m, q, block) => {
+                    self.grads[m.0].add_assign(&g);
+                    let b = g.cols() / block;
+                    let mut dq = Matrix::zeros(g.rows(), b);
+                    for r in 0..g.rows() {
+                        for gg in 0..b {
+                            let mut s = 0.0;
+                            for i in 0..block {
+                                s += g.get(r, gg * block + i);
+                            }
+                            dq.set(r, gg, s);
+                        }
+                    }
+                    self.grads[q.0].add_assign(&dq);
+                }
+                Op::UnflattenRow(a, rows) => {
+                    let ga = &mut self.grads[a.0];
+                    for gg in 0..g.cols() {
+                        for i in 0..rows {
+                            let c = gg * rows + i;
+                            let cur = ga.get(0, c);
+                            ga.set(0, c, cur + g.get(i, gg));
+                        }
+                    }
+                }
+                Op::SoftmaxMaskedCols(a, masks) => {
+                    let y = &self.nodes[idx].value;
+                    let n = y.rows();
+                    let mut da = Matrix::zeros(n, y.cols());
+                    for gg in 0..y.cols() {
+                        let mask = &masks[gg * n..(gg + 1) * n];
+                        let dot: f32 = (0..n)
+                            .filter(|&i| !mask[i])
+                            .map(|i| g.get(i, gg) * y.get(i, gg))
+                            .sum();
+                        for (i, &masked) in mask.iter().enumerate() {
+                            if !masked {
+                                da.set(i, gg, y.get(i, gg) * (g.get(i, gg) - dot));
+                            }
+                        }
+                    }
+                    self.grads[a.0].add_assign(&da);
+                }
+                Op::LogSoftmaxMaskedCols(a, masks) => {
+                    let y = &self.nodes[idx].value;
+                    let n = y.rows();
+                    let mut da = Matrix::zeros(n, y.cols());
+                    for gg in 0..y.cols() {
+                        let mask = &masks[gg * n..(gg + 1) * n];
+                        let gsum: f32 = (0..n)
+                            .filter(|&i| !mask[i])
+                            .map(|i| g.get(i, gg))
+                            .sum();
+                        for (i, &masked) in mask.iter().enumerate() {
+                            if !masked {
+                                da.set(i, gg, g.get(i, gg) - y.get(i, gg).exp() * gsum);
+                            }
+                        }
+                    }
+                    self.grads[a.0].add_assign(&da);
+                }
+                Op::PickCols(a, indices) => {
+                    let ga = &mut self.grads[a.0];
+                    for (gg, &i) in indices.iter().enumerate() {
+                        let cur = ga.get(i, gg);
+                        ga.set(i, gg, cur + g.get(0, gg));
+                    }
+                }
+                Op::BlockMatVec(c, p) => {
+                    let (n, b) = self.nodes[p.0].value.shape();
+                    let h = g.rows();
+                    {
+                        let pv = &self.nodes[p.0].value;
+                        let mut dc = Matrix::zeros(h, n * b);
+                        for gg in 0..b {
+                            for r in 0..h {
+                                let gr = g.get(r, gg);
+                                for i in 0..n {
+                                    dc.set(r, gg * n + i, gr * pv.get(i, gg));
+                                }
+                            }
+                        }
+                        self.grads[c.0].add_assign(&dc);
+                    }
+                    {
+                        let cv = &self.nodes[c.0].value;
+                        let mut dp = Matrix::zeros(n, b);
+                        for gg in 0..b {
+                            for i in 0..n {
+                                let mut s = 0.0;
+                                for r in 0..h {
+                                    s += cv.get(r, gg * n + i) * g.get(r, gg);
+                                }
+                                dp.set(i, gg, s);
+                            }
+                        }
+                        self.grads[p.0].add_assign(&dp);
+                    }
+                }
             }
             self.grads[idx] = g;
         }
@@ -507,6 +752,52 @@ pub fn masked_softmax(x: &Matrix, mask: &[bool]) -> Matrix {
         out.set(i, 0, out.get(i, 0) / z);
     }
     out
+}
+
+/// Per-column masked softmax over `[n, B]` (`masks[g*n + i]` masks row `i`
+/// of column `g`); each column matches [`masked_softmax`] bit for bit.
+/// Shared by the tape op and gradient-free batched inference.
+///
+/// # Panics
+///
+/// Panics on mask-length mismatch or a fully masked column.
+pub fn masked_softmax_cols(x: &Matrix, masks: &[bool]) -> Matrix {
+    let (n, b) = x.shape();
+    assert_eq!(masks.len(), n * b, "mask length");
+    let mut out = Matrix::zeros(n, b);
+    for g in 0..b {
+        let mask = &masks[g * n..(g + 1) * n];
+        assert!(mask.iter().any(|&m| !m), "all entries masked");
+        let mx = (0..n)
+            .filter(|&i| !mask[i])
+            .map(|i| x.get(i, g))
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for (i, &masked) in mask.iter().enumerate() {
+            if !masked {
+                let e = (x.get(i, g) - mx).exp();
+                out.set(i, g, e);
+                z += e;
+            }
+        }
+        for i in 0..n {
+            out.set(i, g, out.get(i, g) / z);
+        }
+    }
+    out
+}
+
+fn col_masked_log_sum_exp(x: &Matrix, col: usize, mask: &[bool]) -> f32 {
+    assert!(mask.iter().any(|&m| !m), "all entries masked");
+    let mx = (0..x.rows())
+        .filter(|&i| !mask[i])
+        .map(|i| x.get(i, col))
+        .fold(f32::NEG_INFINITY, f32::max);
+    let z: f32 = (0..x.rows())
+        .filter(|&i| !mask[i])
+        .map(|i| (x.get(i, col) - mx).exp())
+        .sum();
+    mx + z.ln()
 }
 
 fn masked_log_sum_exp(x: &Matrix, mask: &[bool]) -> f32 {
@@ -789,6 +1080,168 @@ mod tests {
         let l = t.sum(y);
         t.backward(l);
         assert_eq!(t.grad(x).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_gather_cols() {
+        finite_diff_check(
+            |t, x| {
+                let m = t.concat_cols(&[x, x, x]);
+                let gathered = t.gather_cols(m, &[2, 0]);
+                let y = t.tanh(gathered);
+                t.sum(y)
+            },
+            test_input(3),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_block_broadcast() {
+        let m = Matrix::from_vec(2, 6, (0..12).map(|i| 0.1 * i as f32 - 0.5).collect());
+        finite_diff_check(
+            move |t, q| {
+                let mv = t.leaf(m.clone());
+                let qm = t.concat_cols(&[q, q]); // [2, 2] query block
+                let y = t.add_block_broadcast(mv, qm, 3);
+                let y2 = t.tanh(y);
+                t.sum(y2)
+            },
+            Matrix::col_from_slice(&[0.4, -0.2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_unflatten_and_pick_cols() {
+        finite_diff_check(
+            |t, x| {
+                let r = t.transpose(x); // [1, 6]
+                let m = t.unflatten_row(r, 3); // [3, 2]
+                let picked = t.pick_cols(m, &[1, 2]); // [1, 2]
+                let y = t.tanh(picked);
+                t.sum(y)
+            },
+            test_input(6),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_block_matvec_both_sides() {
+        let p = Matrix::from_vec(3, 2, vec![0.2, 0.5, 0.3, 0.1, 0.5, 0.4]);
+        finite_diff_check(
+            move |t, c| {
+                let pv = t.leaf(p.clone());
+                let g = t.block_matvec(c, pv);
+                let y = t.tanh(g);
+                t.sum(y)
+            },
+            Matrix::from_vec(2, 6, (0..12).map(|i| 0.07 * i as f32 - 0.3).collect()),
+            1e-2,
+        );
+        let c = Matrix::from_vec(2, 6, (0..12).map(|i| 0.07 * i as f32 - 0.3).collect());
+        finite_diff_check(
+            move |t, p| {
+                let cv = t.leaf(c.clone());
+                let m = t.concat_cols(&[p, p]); // [3, 2]
+                let g = t.block_matvec(cv, m);
+                let y = t.tanh(g);
+                t.sum(y)
+            },
+            test_input(3),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_masked_cols() {
+        let masks = vec![false, true, false, false, false, true];
+        finite_diff_check(
+            move |t, x| {
+                let m = t.concat_cols(&[x, x]); // [3, 2]
+                let y = t.softmax_masked_cols(m, &masks);
+                let w = t.leaf(Matrix::from_vec(3, 2, vec![0.3, -0.1, 0.0, 0.7, -0.8, 1.2]));
+                let p = t.mul_elem(y, w);
+                t.sum(p)
+            },
+            test_input(3),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_log_softmax_masked_cols() {
+        let masks = vec![false, false, true, true, false, false];
+        finite_diff_check(
+            move |t, x| {
+                let m = t.concat_cols(&[x, x]); // [3, 2]
+                let y = t.log_softmax_masked_cols(m, &masks);
+                let picked = t.pick_cols(y, &[1, 2]);
+                t.sum(picked)
+            },
+            test_input(3),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn batched_softmax_columns_match_unbatched() {
+        let a = Matrix::col_from_slice(&[0.4, -1.2, 2.0, 0.1]);
+        let b = Matrix::col_from_slice(&[1.5, 0.0, -0.7, 0.9]);
+        let mask_a = vec![false, true, false, false];
+        let mask_b = vec![false, false, false, true];
+        let mut stacked = Matrix::zeros(4, 2);
+        for i in 0..4 {
+            stacked.set(i, 0, a.get(i, 0));
+            stacked.set(i, 1, b.get(i, 0));
+        }
+        let masks: Vec<bool> = mask_a.iter().chain(&mask_b).copied().collect();
+        let batched = masked_softmax_cols(&stacked, &masks);
+        let sa = masked_softmax(&a, &mask_a);
+        let sb = masked_softmax(&b, &mask_b);
+        for i in 0..4 {
+            assert_eq!(batched.get(i, 0).to_bits(), sa.get(i, 0).to_bits());
+            assert_eq!(batched.get(i, 1).to_bits(), sb.get(i, 0).to_bits());
+        }
+        // log-softmax path too
+        let mut t = Tape::new();
+        let sv = t.leaf(stacked);
+        let ls_cols = t.log_softmax_masked_cols(sv, &masks);
+        let av = t.leaf(a);
+        let ls_a = t.log_softmax_masked(av, &mask_a);
+        for i in 0..4 {
+            assert_eq!(
+                t.value(ls_cols).get(i, 0).to_bits(),
+                t.value(ls_a).get(i, 0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn block_matvec_matches_per_block_matmul() {
+        let c = Matrix::from_vec(2, 6, (0..12).map(|i| 0.3 * i as f32 - 1.0).collect());
+        let p = Matrix::from_vec(3, 2, vec![0.2, 0.5, 0.3, 0.1, 0.5, 0.4]);
+        let mut t = Tape::new();
+        let cv = t.leaf(c.clone());
+        let pv = t.leaf(p.clone());
+        let out = t.block_matvec(cv, pv);
+        for g in 0..2 {
+            let mut block = Matrix::zeros(2, 3);
+            for r in 0..2 {
+                for i in 0..3 {
+                    block.set(r, i, c.get(r, g * 3 + i));
+                }
+            }
+            let mut col = Matrix::zeros(3, 1);
+            for i in 0..3 {
+                col.set(i, 0, p.get(i, g));
+            }
+            let expect = block.matmul(&col);
+            for r in 0..2 {
+                assert_eq!(t.value(out).get(r, g).to_bits(), expect.get(r, 0).to_bits());
+            }
+        }
     }
 
     #[test]

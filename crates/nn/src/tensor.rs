@@ -205,6 +205,51 @@ impl Matrix {
         out
     }
 
+    /// Gathers columns `cols[j]` into a new `[rows, cols.len()]` matrix.
+    /// Shared forward kernel of the batched tape op and the gradient-free
+    /// batched decode (their bitwise agreement depends on sharing it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather_cols(&self, cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, cols.len());
+        for (j, &c) in cols.iter().enumerate() {
+            assert!(c < self.cols, "gather column out of range");
+            for r in 0..self.rows {
+                out.set(r, j, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Block-diagonal matrix-vector product: with `self` stacking `B`
+    /// blocks `[C_0 | C_1 | ...] ∈ [h, B*n]` and `p ∈ [n, B]`, returns
+    /// `[h, B]` whose column `g` is `C_g @ p[:, g]`. Accumulation order
+    /// per output element matches [`Matrix::matmul`]'s column-vector fast
+    /// path; shared by the batched tape op and the gradient-free batched
+    /// decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols() == p.rows() * p.cols()`.
+    pub fn block_matvec(&self, p: &Matrix) -> Matrix {
+        let (n, b) = p.shape();
+        assert_eq!(self.cols, n * b, "context block count mismatch");
+        let h = self.rows;
+        let mut out = Matrix::zeros(h, b);
+        for g in 0..b {
+            for r in 0..h {
+                let mut acc = 0.0f32;
+                for i in 0..n {
+                    acc += self.get(r, g * n + i) * p.get(i, g);
+                }
+                out.set(r, g, acc);
+            }
+        }
+        out
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);

@@ -7,6 +7,13 @@
 //! when no edge forbids it. Acceptance follows the Metropolis rule with a
 //! geometric temperature schedule. Also used to tighten the exact solver's
 //! initial upper bound.
+//!
+//! Every proposal is costed through an [`IncrementalEvaluator`]: a cut
+//! shift moves exactly one node across a stage boundary and an adjacent
+//! swap moves at most two, so candidate objectives cost `O(deg + k)`
+//! instead of the full `O(V + E)` recomputation — the evaluator is
+//! bitwise-equivalent to [`CostModel::stage_costs`], so accept/reject
+//! decisions (and thus results per seed) match a full-recompute loop.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,6 +21,7 @@ use rand::{Rng, SeedableRng};
 use respect_graph::{Dag, NodeId};
 
 use crate::cost::CostModel;
+use crate::incremental::IncrementalEvaluator;
 use crate::order;
 use crate::pack;
 use crate::schedule::{Schedule, ScheduleError};
@@ -58,17 +66,6 @@ impl Annealing {
     }
 }
 
-struct State {
-    sequence: Vec<NodeId>,
-    cuts: Vec<usize>,
-}
-
-impl State {
-    fn schedule(&self, num_stages: usize) -> Schedule {
-        Schedule::from_cuts(&self.sequence, &self.cuts, num_stages)
-    }
-}
-
 impl Scheduler for Annealing {
     fn name(&self) -> &str {
         "simulated annealing"
@@ -80,9 +77,8 @@ impl Scheduler for Annealing {
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Start from the packing-DP solution on the default order.
-        let (init, init_obj) = pack::pack_default(dag, num_stages, &self.model);
-        let sequence = order::default_order(dag);
-        let pos = order::positions(dag, &sequence);
+        let (init, _) = pack::pack_default(dag, num_stages, &self.model);
+        let mut sequence = order::default_order(dag);
         let mut cuts = vec![0usize; num_stages - 1];
         {
             // recover cut positions from the packed schedule
@@ -96,85 +92,95 @@ impl Scheduler for Annealing {
                 cuts[k] = acc;
             }
         }
-        let mut state = State { sequence, cuts };
-        let mut pos = pos;
+        let mut eval = IncrementalEvaluator::new(dag, self.model, &init);
 
-        let mut cur_obj = init_obj;
-        let mut best = state.schedule(num_stages);
+        let mut cur_obj = eval.bottleneck();
+        let mut best = init;
         let mut best_obj = cur_obj;
-        let mut temp = (init_obj * self.init_temp_frac).max(f64::MIN_POSITIVE);
+        let mut temp = (cur_obj * self.init_temp_frac).max(f64::MIN_POSITIVE);
 
         let n = dag.len();
         for _ in 0..self.iterations {
-            enum Move {
-                Cut { idx: usize, to: usize },
-                Swap { i: usize },
+            // applied single-node moves, in order, for a possible undo
+            enum Applied {
+                Cut { idx: usize, old: usize, node: NodeId, prev: usize },
+                Swap { i: usize, moved: Option<(NodeId, usize, NodeId, usize)> },
             }
-            let mv = if num_stages > 1 && rng.gen_bool(0.5) {
-                let idx = rng.gen_range(0..state.cuts.len());
-                let lo = if idx == 0 { 0 } else { state.cuts[idx - 1] };
-                let hi = if idx + 1 == state.cuts.len() {
-                    n
-                } else {
-                    state.cuts[idx + 1]
-                };
+            let applied = if num_stages > 1 && rng.gen_bool(0.5) {
+                let idx = rng.gen_range(0..cuts.len());
+                let lo = if idx == 0 { 0 } else { cuts[idx - 1] };
+                let hi = if idx + 1 == cuts.len() { n } else { cuts[idx + 1] };
                 let delta: isize = if rng.gen_bool(0.5) { 1 } else { -1 };
-                let to = state.cuts[idx].saturating_add_signed(delta).clamp(lo, hi);
-                if to == state.cuts[idx] {
+                let old = cuts[idx];
+                let to = old.saturating_add_signed(delta).clamp(lo, hi);
+                if to == old {
                     continue;
                 }
-                Move::Cut { idx, to }
+                // shifting one cut by one position moves exactly one node
+                // across one stage boundary: cut up (`old → old + 1`)
+                // pulls the node at position `old` one stage earlier, cut
+                // down pushes the node at position `to` one stage later
+                let (pos, shift): (usize, isize) =
+                    if to > old { (old, -1) } else { (to, 1) };
+                let node = sequence[pos];
+                let stage = eval.stage(node).saturating_add_signed(shift);
+                let prev = eval.move_node(node, stage);
+                cuts[idx] = to;
+                Applied::Cut { idx, old, node, prev }
             } else {
                 if n < 2 {
                     continue;
                 }
                 let i = rng.gen_range(0..n - 1);
-                let (u, v) = (state.sequence[i], state.sequence[i + 1]);
+                let (u, v) = (sequence[i], sequence[i + 1]);
                 if dag.has_edge(u, v) {
                     continue; // swap would break the topological order
                 }
-                Move::Swap { i }
-            };
-
-            // apply, remembering how to undo
-            let undo = match &mv {
-                Move::Cut { idx, to } => {
-                    let old = state.cuts[*idx];
-                    state.cuts[*idx] = *to;
-                    Some(old)
-                }
-                Move::Swap { i } => {
-                    state.sequence.swap(*i, *i + 1);
-                    pos[state.sequence[*i].index()] = *i;
-                    pos[state.sequence[*i + 1].index()] = *i + 1;
+                let (su, sv) = (eval.stage(u), eval.stage(v));
+                sequence.swap(i, i + 1);
+                // positions keep their stages, so the nodes trade stages
+                // only when a cut separates them
+                let moved = if su != sv {
+                    eval.move_node(u, sv);
+                    eval.move_node(v, su);
+                    Some((u, su, v, sv))
+                } else {
                     None
-                }
+                };
+                Applied::Swap { i, moved }
             };
-            let cand = state.schedule(num_stages);
-            let cand_obj = self.model.objective(dag, &cand);
+            let cand_obj = eval.bottleneck();
             let accept = cand_obj <= cur_obj
                 || rng.gen_bool(((cur_obj - cand_obj) / temp).exp().clamp(0.0, 1.0));
             if accept {
                 cur_obj = cand_obj;
                 if cand_obj < best_obj {
                     best_obj = cand_obj;
-                    best = cand;
+                    best = eval.to_schedule();
                 }
             } else {
-                match (&mv, undo) {
-                    (Move::Cut { idx, .. }, Some(old)) => state.cuts[*idx] = old,
-                    (Move::Swap { i }, _) => {
-                        state.sequence.swap(*i, *i + 1);
-                        pos[state.sequence[*i].index()] = *i;
-                        pos[state.sequence[*i + 1].index()] = *i + 1;
+                match applied {
+                    Applied::Cut { idx, old, node, prev } => {
+                        eval.move_node(node, prev);
+                        cuts[idx] = old;
                     }
-                    (Move::Cut { .. }, None) => unreachable!("cut moves always store undo"),
+                    Applied::Swap { i, moved } => {
+                        if let Some((u, su, v, sv)) = moved {
+                            eval.move_node(u, su);
+                            eval.move_node(v, sv);
+                        }
+                        sequence.swap(i, i + 1);
+                    }
                 }
             }
             temp *= self.cooling;
         }
-        let _ = pos;
         debug_assert!(best.is_valid(dag));
+        debug_assert_eq!(
+            best_obj.to_bits(),
+            self.model.objective(dag, &best).to_bits(),
+            "incremental objective drifted from full recomputation"
+        );
         Ok(best)
     }
 }

@@ -4,13 +4,17 @@
 //! priority-ordered node list and greedily assigns resources. For pipeline
 //! partitioning this becomes: walk the default topological order,
 //! accumulate a segment until its [`CostModel`] cost exceeds an even-split
-//! target, then cut. One pass, no lookahead — faster but weaker than the
-//! packing DP, and a useful middle ground between the parameter-balancing
+//! target, then cut. A bounded hill-climb over cut positions — costed by
+//! the `O(deg + k)`-per-move [`IncrementalEvaluator`] rather than full
+//! re-aggregation — then polishes the boundaries. Still faster but weaker
+//! than the packing DP (which is optimal over cut placements on this
+//! order), and a useful middle ground between the parameter-balancing
 //! compiler and the exact solver.
 
 use respect_graph::Dag;
 
 use crate::cost::{CostModel, SegmentAccumulator};
+use crate::incremental::IncrementalEvaluator;
 use crate::order;
 use crate::schedule::{Schedule, ScheduleError};
 use crate::Scheduler;
@@ -22,17 +26,32 @@ pub struct GreedyCost {
     /// Multiplier on the even-split target before cutting (1.0 = cut as
     /// soon as the target is exceeded).
     slack: f64,
+    /// Boundary-refinement sweeps over the cuts after the greedy pass
+    /// (0 disables refinement).
+    refine_passes: usize,
 }
 
 impl GreedyCost {
-    /// Creates the scheduler with default slack 1.0.
+    /// Creates the scheduler with default slack 1.0 and two boundary
+    /// refinement sweeps.
     pub fn new(model: CostModel) -> Self {
-        GreedyCost { model, slack: 1.0 }
+        GreedyCost {
+            model,
+            slack: 1.0,
+            refine_passes: 2,
+        }
     }
 
     /// Adjusts the cut threshold multiplier.
     pub fn with_slack(mut self, slack: f64) -> Self {
         self.slack = slack;
+        self
+    }
+
+    /// Overrides the number of boundary-refinement sweeps (0 reproduces
+    /// the pure one-pass list scheduler).
+    pub fn with_refinement(mut self, passes: usize) -> Self {
+        self.refine_passes = passes;
         self
     }
 }
@@ -78,7 +97,58 @@ impl Scheduler for GreedyCost {
         while cuts.len() + 1 < num_stages {
             cuts.push(sequence.len());
         }
-        Ok(Schedule::from_cuts(&sequence, &cuts, num_stages))
+        let schedule = Schedule::from_cuts(&sequence, &cuts, num_stages);
+        if self.refine_passes == 0 || num_stages < 2 {
+            return Ok(schedule);
+        }
+
+        // boundary refinement: hill-climb cut positions, costing each
+        // one-node shift incrementally instead of re-aggregating stages
+        let mut eval = IncrementalEvaluator::new(dag, self.model, &schedule);
+        let mut obj = eval.bottleneck();
+        for _ in 0..self.refine_passes {
+            let mut improved = false;
+            for idx in 0..cuts.len() {
+                loop {
+                    let lo = if idx == 0 { 0 } else { cuts[idx - 1] };
+                    let hi = if idx + 1 == cuts.len() {
+                        sequence.len()
+                    } else {
+                        cuts[idx + 1]
+                    };
+                    let mut moved = false;
+                    for delta in [1isize, -1] {
+                        let old = cuts[idx];
+                        let to = old.saturating_add_signed(delta).clamp(lo, hi);
+                        if to == old {
+                            continue;
+                        }
+                        // one cut shift = one node crossing one boundary
+                        let (p, shift): (usize, isize) =
+                            if to > old { (old, -1) } else { (to, 1) };
+                        let node = sequence[p];
+                        let stage = eval.stage(node).saturating_add_signed(shift);
+                        let prev = eval.move_node(node, stage);
+                        let cand = eval.bottleneck();
+                        if cand < obj {
+                            obj = cand;
+                            cuts[idx] = to;
+                            moved = true;
+                            improved = true;
+                            break;
+                        }
+                        eval.move_node(node, prev);
+                    }
+                    if !moved {
+                        break;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        Ok(eval.to_schedule())
     }
 }
 
@@ -125,6 +195,25 @@ mod tests {
             GreedyCost::new(CostModel::coral()).schedule(&dag, 0),
             Err(ScheduleError::NoStages)
         ));
+    }
+
+    #[test]
+    fn refinement_never_worsens_and_stays_valid() {
+        let model = CostModel::coral();
+        for (name, dag) in models::table1() {
+            for k in [2, 4, 6] {
+                let plain = GreedyCost::new(model)
+                    .with_refinement(0)
+                    .schedule(&dag, k)
+                    .unwrap();
+                let refined = GreedyCost::new(model).schedule(&dag, k).unwrap();
+                assert!(refined.is_valid(&dag), "{name} k={k}");
+                assert!(
+                    model.objective(&dag, &refined) <= model.objective(&dag, &plain) + 1e-18,
+                    "{name} k={k}: refinement worsened the objective"
+                );
+            }
+        }
     }
 
     #[test]

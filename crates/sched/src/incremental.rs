@@ -1,0 +1,246 @@
+//! Incremental cost evaluation under single-node stage moves.
+//!
+//! Local-search schedulers (simulated annealing, greedy refinement)
+//! propose thousands of small schedule perturbations, and recomputing
+//! [`CostModel::stage_costs`] from scratch for each one costs `O(V + E)`.
+//! An [`IncrementalEvaluator`] maintains the per-stage
+//! `(param_bytes, macs, cut_in_bytes)` aggregates and per-stage costs
+//! under **single-node moves** in `O(deg(v) + k)` per move, where `k` is
+//! the stage count.
+//!
+//! The aggregates are integers, so incremental add/subtract is exact, and
+//! per-stage costs are recomputed from the aggregates through the same
+//! [`CostModel::stage_cost`] function the full evaluation uses — the
+//! evaluator therefore agrees **bitwise** (as `f64`) with a fresh
+//! [`CostModel::stage_costs`] / [`CostModel::objective`] after any
+//! sequence of moves (property-tested in `crates/sched/tests`).
+
+use respect_graph::{Dag, NodeId};
+
+use crate::cost::{CostModel, StageResources};
+use crate::schedule::Schedule;
+
+/// Maintains per-stage resource aggregates, per-stage costs, and the
+/// bottleneck objective of one evolving schedule. See the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct IncrementalEvaluator<'a> {
+    dag: &'a Dag,
+    model: CostModel,
+    num_stages: usize,
+    stage_of: Vec<usize>,
+    res: Vec<StageResources>,
+    costs: Vec<f64>,
+}
+
+impl<'a> IncrementalEvaluator<'a> {
+    /// Builds the evaluator from a schedule (one full `O(V + E)`
+    /// aggregation, exactly [`CostModel::stage_resources`]).
+    pub fn new(dag: &'a Dag, model: CostModel, schedule: &Schedule) -> Self {
+        let res = model.stage_resources(dag, schedule);
+        let costs = res
+            .iter()
+            .map(|r| model.stage_cost(r.param_bytes, r.macs, r.cut_in_bytes))
+            .collect();
+        IncrementalEvaluator {
+            dag,
+            model,
+            num_stages: schedule.num_stages(),
+            stage_of: schedule.stage_of().to_vec(),
+            res,
+            costs,
+        }
+    }
+
+    /// Current stage of `node`.
+    #[inline]
+    pub fn stage(&self, node: NodeId) -> usize {
+        self.stage_of[node.index()]
+    }
+
+    /// The stage-per-node vector, indexed by node id.
+    #[inline]
+    pub fn stage_of(&self) -> &[usize] {
+        &self.stage_of
+    }
+
+    /// Number of pipeline stages.
+    #[inline]
+    pub fn num_stages(&self) -> usize {
+        self.num_stages
+    }
+
+    /// Current per-stage resource aggregates.
+    pub fn stage_resources(&self) -> &[StageResources] {
+        &self.res
+    }
+
+    /// Current per-stage costs (bitwise identical to a fresh
+    /// [`CostModel::stage_costs`] on the current assignment).
+    pub fn stage_costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// The bottleneck objective `max` over stage costs; folds in stage
+    /// order exactly like [`CostModel::objective`].
+    pub fn bottleneck(&self) -> f64 {
+        self.costs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Materializes the current assignment as a [`Schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Never panics: stages are kept in range by [`move_node`]
+    /// (IncrementalEvaluator::move_node).
+    pub fn to_schedule(&self) -> Schedule {
+        Schedule::new(self.stage_of.clone(), self.num_stages).expect("stages stay in range")
+    }
+
+    /// Moves node `v` to stage `to`, updating the aggregates of the
+    /// source and destination stages and of every stage that consumes one
+    /// of `v`'s outputs. `O(deg(v) + k)`. Returns the previous stage (pass
+    /// it back to undo the move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to >= num_stages`.
+    pub fn move_node(&mut self, v: NodeId, to: usize) -> usize {
+        assert!(to < self.num_stages, "stage out of range");
+        let from = self.stage_of[v.index()];
+        if from == to {
+            return from;
+        }
+        let node = self.dag.node(v);
+        self.res[from].param_bytes -= node.param_bytes;
+        self.res[from].macs -= node.macs;
+        self.res[to].param_bytes += node.param_bytes;
+        self.res[to].macs += node.macs;
+        // incoming edges (p -> v): accounted at v's stage when crossing
+        for &p in self.dag.preds(v) {
+            let sp = self.stage_of[p.index()];
+            if sp != from {
+                self.res[from].cut_in_bytes -= self.dag.node(p).output_bytes;
+            }
+            if sp != to {
+                self.res[to].cut_in_bytes += self.dag.node(p).output_bytes;
+            }
+        }
+        // outgoing edges (v -> s): accounted at each consumer's stage
+        let out = node.output_bytes;
+        for &s in self.dag.succs(v) {
+            let ss = self.stage_of[s.index()];
+            if ss != from {
+                self.res[ss].cut_in_bytes -= out;
+            }
+            if ss != to {
+                self.res[ss].cut_in_bytes += out;
+            }
+        }
+        self.stage_of[v.index()] = to;
+        // refresh costs of every stage whose aggregates may have changed
+        self.refresh(from);
+        self.refresh(to);
+        for &s in self.dag.succs(v) {
+            self.refresh(self.stage_of[s.index()]);
+        }
+        from
+    }
+
+    #[inline]
+    fn refresh(&mut self, stage: usize) {
+        let r = self.res[stage];
+        self.costs[stage] = self.model.stage_cost(r.param_bytes, r.macs, r.cut_in_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respect_graph::{DagBuilder, OpKind, OpNode};
+
+    /// a(1MB,10) -> b(2MB,20) -> d(1MB,5); a -> c(4MB,40) -> d.
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::new();
+        let specs = [(1u64 << 20, 10u64), (2 << 20, 20), (4 << 20, 40), (1 << 20, 5)];
+        let ids: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, m))| {
+                b.add_node(
+                    OpNode::new(format!("n{i}"), OpKind::Conv2d)
+                        .with_params(p)
+                        .with_macs(m)
+                        .with_output(64 * (i as u64 + 1)),
+                )
+            })
+            .collect();
+        b.add_edge(ids[0], ids[1]).unwrap();
+        b.add_edge(ids[0], ids[2]).unwrap();
+        b.add_edge(ids[1], ids[3]).unwrap();
+        b.add_edge(ids[2], ids[3]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn assert_agrees(eval: &IncrementalEvaluator, dag: &Dag, model: &CostModel) {
+        let schedule = eval.to_schedule();
+        let full_res = model.stage_resources(dag, &schedule);
+        assert_eq!(eval.stage_resources(), full_res.as_slice());
+        let full_costs = model.stage_costs(dag, &schedule);
+        for (a, b) in eval.stage_costs().iter().zip(&full_costs) {
+            assert_eq!(a.to_bits(), b.to_bits(), "stage cost drifted");
+        }
+        assert_eq!(
+            eval.bottleneck().to_bits(),
+            model.objective(dag, &schedule).to_bits()
+        );
+    }
+
+    #[test]
+    fn matches_full_recompute_after_moves() {
+        let dag = diamond();
+        let model = CostModel::coral();
+        let init = Schedule::new(vec![0, 0, 1, 1], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&dag, model, &init);
+        assert_agrees(&eval, &dag, &model);
+        for (v, to) in [(1u32, 1), (2, 2), (3, 2), (1, 0), (0, 0), (3, 1)] {
+            eval.move_node(NodeId(v), to);
+            assert_agrees(&eval, &dag, &model);
+        }
+    }
+
+    #[test]
+    fn move_returns_previous_stage_for_undo() {
+        let dag = diamond();
+        let model = CostModel::coral();
+        let init = Schedule::new(vec![0, 1, 1, 2], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&dag, model, &init);
+        let before = eval.bottleneck();
+        let prev = eval.move_node(NodeId(2), 2);
+        assert_eq!(prev, 1);
+        eval.move_node(NodeId(2), prev);
+        assert_eq!(eval.bottleneck().to_bits(), before.to_bits());
+        assert_agrees(&eval, &dag, &model);
+    }
+
+    #[test]
+    fn same_stage_move_is_a_no_op() {
+        let dag = diamond();
+        let model = CostModel::coral();
+        let init = Schedule::new(vec![0, 1, 1, 2], 3).unwrap();
+        let mut eval = IncrementalEvaluator::new(&dag, model, &init);
+        let costs: Vec<u64> = eval.stage_costs().iter().map(|c| c.to_bits()).collect();
+        eval.move_node(NodeId(1), 1);
+        let after: Vec<u64> = eval.stage_costs().iter().map(|c| c.to_bits()).collect();
+        assert_eq!(costs, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage out of range")]
+    fn rejects_out_of_range_stage() {
+        let dag = diamond();
+        let init = Schedule::new(vec![0, 0, 0, 0], 2).unwrap();
+        let mut eval = IncrementalEvaluator::new(&dag, CostModel::coral(), &init);
+        eval.move_node(NodeId(0), 2);
+    }
+}

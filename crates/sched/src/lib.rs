@@ -20,6 +20,8 @@
 //!   profile reproduces the paper's CPLEX baseline (baseline 2);
 //! * [`greedy`], [`anneal`] — cost-aware list scheduling and simulated
 //!   annealing (the "iterative metaheuristics" of Sec. II);
+//! * [`incremental`] — `O(deg(v) + k)` cost re-evaluation under
+//!   single-node stage moves, the engine behind the local searches;
 //! * [`hu`], [`force`] — the classic RCS algorithms cited in Sec. II
 //!   (Hu's algorithm, force-directed scheduling);
 //! * [`repair`] — the paper's post-inference processing;
@@ -50,12 +52,14 @@ pub mod force;
 pub mod greedy;
 pub mod hu;
 pub mod ilp;
+pub mod incremental;
 pub mod order;
 pub mod pack;
 pub mod repair;
 pub mod schedule;
 
 pub use cost::CostModel;
+pub use incremental::IncrementalEvaluator;
 pub use schedule::{Schedule, ScheduleError};
 
 use respect_graph::Dag;

@@ -8,11 +8,20 @@
 //! post-inference procedure assigns these nodes to the earliest predicted
 //! stage."
 //!
-//! [`repair`] implements both rules. The sibling rule can conflict with
-//! the dependency rule on adversarial inputs, so the fixpoint loop is
-//! bounded and always ends with a dependency pass — the returned schedule
-//! is guaranteed dependency-valid; sibling co-location is best-effort
-//! (exactly like a deployment-time legalizer).
+//! [`repair`] implements both rules. The sibling rule used to be applied
+//! as a hoist-then-fix alternation, but hoisting a child to an earlier
+//! stage can undo the dependency validity established moments before, and
+//! the bounded alternation could then stop at a state where re-running
+//! `repair` produced a *different* schedule (non-idempotent legalization —
+//! a real deployment hazard). The rule is therefore resolved structurally:
+//! sibling groups are merged into co-location classes (a union-find over
+//! "children of the same node"), each class starts at the earliest
+//! predicted stage among its members, and class stages are pushed forward
+//! monotonically until every cross-class edge flows forward. The
+//! propagation only ever increases stages, so it converges in one round,
+//! the result is dependency-valid by construction, and `repair` is
+//! **idempotent** — `repair(repair(raw)) == repair(raw)` for every input
+//! and every `max_rounds ≥ 1` (property-tested in `crates/sched/tests`).
 
 use respect_graph::{topo, Dag};
 
@@ -24,7 +33,10 @@ pub struct RepairConfig {
     /// Enforce the Edge TPU rule that all children of a node share a
     /// stage (hoisted to the earliest predicted stage among them).
     pub sibling_stages: bool,
-    /// Maximum sibling/dependency alternations before settling.
+    /// Upper bound on sibling-resolution rounds. The class-based
+    /// algorithm reaches its fixpoint in a single round, so every value
+    /// ≥ 1 behaves identically; `0` skips sibling resolution entirely
+    /// (dependency repair only), as it always has.
     pub max_rounds: usize,
 }
 
@@ -79,39 +91,64 @@ pub fn repair(
         }
     };
 
-    if config.sibling_stages {
-        for _ in 0..config.max_rounds {
+    if config.sibling_stages && config.max_rounds > 0 {
+        // co-location classes: children of any node with several children
+        // must share a stage, and overlapping sibling sets chain together
+        let mut parent: Vec<usize> = (0..dag.len()).collect();
+        for u in dag.node_ids() {
+            let children = dag.succs(u);
+            if children.len() > 1 {
+                let root = find(&mut parent, children[0].index());
+                for &c in &children[1..] {
+                    let r = find(&mut parent, c.index());
+                    parent[r] = root;
+                }
+            }
+        }
+        // each class starts at the earliest predicted stage of any member
+        // (the paper's rule), then classes are pushed forward until every
+        // cross-class edge flows forward — monotone, so it terminates, and
+        // it never revisits a settled constraint (the old alternation
+        // could hoist a child back below its parents)
+        let mut class_stage = vec![usize::MAX; dag.len()];
+        for (v, &s) in stage.iter().enumerate() {
+            let r = find(&mut parent, v);
+            class_stage[r] = class_stage[r].min(s);
+        }
+        loop {
             let mut changed = false;
-            // sibling rule: children of each node share the earliest stage
-            for u in dag.node_ids() {
-                let children = dag.succs(u);
-                if children.len() > 1 {
-                    let earliest = children
-                        .iter()
-                        .map(|&c| stage[c.index()])
-                        .min()
-                        .expect("nonempty");
-                    for &c in children {
-                        if stage[c.index()] != earliest {
-                            stage[c.index()] = earliest;
-                            changed = true;
-                        }
+            for &v in &order {
+                let rv = find(&mut parent, v.index());
+                for &p in dag.preds(v) {
+                    let rp = find(&mut parent, p.index());
+                    if class_stage[rp] > class_stage[rv] {
+                        class_stage[rv] = class_stage[rp];
+                        changed = true;
                     }
                 }
             }
-            let before = stage.clone();
-            dependency_pass(&mut stage);
-            changed |= before != stage;
             if !changed {
                 break;
             }
         }
+        for (v, s) in stage.iter_mut().enumerate() {
+            *s = class_stage[find(&mut parent, v)];
+        }
     }
-    // final guarantee: dependency-valid
+    // final guarantee: dependency-valid (a no-op after class propagation)
     dependency_pass(&mut stage);
     let schedule = Schedule::new(stage, num_stages)?;
     debug_assert!(schedule.is_valid(dag));
     Ok(schedule)
+}
+
+/// Union-find root lookup with path compression.
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
 }
 
 #[cfg(test)]
@@ -168,6 +205,20 @@ mod tests {
         let s = repair(&dag, &[0, 2, 1, 2], 3, cfg).unwrap();
         assert_eq!(s.stage(NodeId(1)), 2);
         assert_eq!(s.stage(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn zero_rounds_skips_sibling_resolution() {
+        // max_rounds = 0 has always meant "dependency repair only"
+        let dag = diamond();
+        let cfg = RepairConfig {
+            sibling_stages: true,
+            max_rounds: 0,
+        };
+        let s = repair(&dag, &[0, 2, 1, 2], 3, cfg).unwrap();
+        assert_eq!(s.stage(NodeId(1)), 2);
+        assert_eq!(s.stage(NodeId(2)), 1);
+        assert!(s.is_valid(&dag));
     }
 
     #[test]

@@ -4,9 +4,9 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use respect_graph::{SyntheticConfig, SyntheticSampler};
+use respect_graph::{NodeId, SyntheticConfig, SyntheticSampler};
 use respect_sched::repair::{repair, RepairConfig};
-use respect_sched::{brute, exact, order, pack, CostModel};
+use respect_sched::{brute, exact, order, pack, CostModel, IncrementalEvaluator, Schedule};
 
 fn sample(nodes: usize, deg: usize, seed: u64) -> respect_graph::Dag {
     let cfg = SyntheticConfig {
@@ -80,6 +80,73 @@ proptest! {
         let s = repair(&dag, &raw, stages, RepairConfig::default()).unwrap();
         prop_assert!(s.is_valid(&dag));
         prop_assert!(s.stage_of().iter().all(|&st| st < stages));
+    }
+
+    #[test]
+    fn repair_is_idempotent_and_valid_at_one_round(
+        seed in 0u64..5_000,
+        stages in 1usize..6,
+        raw_seed in 0u64..1_000,
+    ) {
+        // regression for the sibling/dependency alternation: hoisting a
+        // child could undo dependency validity within a round, making the
+        // bounded fixpoint non-idempotent. Both guarantees must now hold
+        // even with a single round.
+        let dag = sample(15, 4, seed);
+        let cfg = RepairConfig { sibling_stages: true, max_rounds: 1 };
+        let mut rng = StdRng::seed_from_u64(raw_seed);
+        let raw: Vec<usize> = (0..dag.len()).map(|_| rng.gen_range(0usize..stages + 3)).collect();
+        let once = repair(&dag, &raw, stages, cfg).unwrap();
+        prop_assert!(once.is_valid(&dag), "repair must be dependency-valid at max_rounds = 1");
+        let twice = repair(&dag, once.stage_of(), stages, cfg).unwrap();
+        prop_assert_eq!(
+            twice.stage_of(),
+            once.stage_of(),
+            "repair(repair(raw)) must equal repair(raw)"
+        );
+        // the structural sibling rule is no longer best-effort: children
+        // of every node share a stage in the output
+        for u in dag.node_ids() {
+            let children = dag.succs(u);
+            if children.len() > 1 {
+                let s0 = once.stage(children[0]);
+                prop_assert!(
+                    children.iter().all(|&c| once.stage(c) == s0),
+                    "siblings must be co-located"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_evaluator_matches_full_recompute_bitwise(
+        seed in 0u64..5_000,
+        stages in 1usize..6,
+        move_seed in 0u64..1_000,
+    ) {
+        // arbitrary sequences of random single-node stage moves must keep
+        // the evaluator bitwise-identical (f64) to a fresh full evaluation
+        let dag = sample(16, 3, seed);
+        let model = CostModel::coral();
+        let mut rng = StdRng::seed_from_u64(move_seed);
+        let init: Vec<usize> = (0..dag.len()).map(|_| rng.gen_range(0..stages)).collect();
+        let schedule = Schedule::new(init, stages).unwrap();
+        let mut eval = IncrementalEvaluator::new(&dag, model, &schedule);
+        for _ in 0..40 {
+            let v = NodeId(rng.gen_range(0..dag.len()) as u32);
+            let to = rng.gen_range(0..stages);
+            eval.move_node(v, to);
+            let cur = eval.to_schedule();
+            let full_costs = model.stage_costs(&dag, &cur);
+            for (a, b) in eval.stage_costs().iter().zip(&full_costs) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "stage cost drifted: {} vs {}", a, b);
+            }
+            prop_assert_eq!(
+                eval.bottleneck().to_bits(),
+                model.objective(&dag, &cur).to_bits(),
+                "bottleneck drifted"
+            );
+        }
     }
 
     #[test]

@@ -89,7 +89,14 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
-    let budget = Duration::from_millis(200);
+    // RESPECT_BENCH_BUDGET_MS caps the measured batch per benchmark
+    // (default 200 ms); CI smoke runs set it low so benches stay honest
+    // without stalling the pipeline.
+    let budget_ms = std::env::var("RESPECT_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(200);
+    let budget = Duration::from_millis(budget_ms);
     let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, sample_size as u128) as u64;
 
     let mut b = Bencher {
