@@ -23,16 +23,16 @@ fn bench_inference(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("simulate/compiler-schedule", stages),
             &stages,
-            |b, _| b.iter(|| exec::simulate(&p_c, &spec, 1_000).total_s),
+            |b, _| b.iter(|| exec::simulate(&p_c, &spec, 1_000).unwrap().total_s),
         );
         group.bench_with_input(
             BenchmarkId::new("simulate/respect-schedule", stages),
             &stages,
-            |b, _| b.iter(|| exec::simulate(&p_r, &spec, 1_000).total_s),
+            |b, _| b.iter(|| exec::simulate(&p_r, &spec, 1_000).unwrap().total_s),
         );
         // the figure's actual quantity: report it once per run
-        let rel = simulated_inference_s(&dag, &s_r, &spec)
-            / simulated_inference_s(&dag, &s_c, &spec);
+        let rel =
+            simulated_inference_s(&dag, &s_r, &spec) / simulated_inference_s(&dag, &s_c, &spec);
         eprintln!("ResNet152 {stages}-stage: RESPECT relative runtime {rel:.3} (compiler=1)");
     }
     group.finish();

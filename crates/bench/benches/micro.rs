@@ -8,10 +8,10 @@ use respect_core::embedding::{embed, EmbeddingConfig};
 use respect_core::DecodeMode;
 use respect_graph::{models, SyntheticConfig, SyntheticSampler};
 use respect_sched::exact::ExactScheduler;
+use respect_sched::Scheduler;
 use respect_sched::{pack, CostModel};
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::{compile, exec};
-use respect_sched::Scheduler;
 
 fn bench_micro(c: &mut Criterion) {
     let dag = models::resnet50();
@@ -42,7 +42,7 @@ fn bench_micro(c: &mut Criterion) {
         .unwrap();
     let pipeline = compile::compile(&dag, &schedule, &spec).unwrap();
     c.bench_function("simulate/resnet50/4/1000", |b| {
-        b.iter(|| exec::simulate(&pipeline, &spec, 1_000).total_s)
+        b.iter(|| exec::simulate(&pipeline, &spec, 1_000).unwrap().total_s)
     });
 }
 

@@ -1,0 +1,85 @@
+//! Discrete-event simulator benchmarks: engine cost across the scenario
+//! axes (analytic oracle vs DES, bus contention, open-loop arrivals,
+//! multi-tenant co-residency, batching).
+//!
+//! Run with `RESPECT_BENCH_BUDGET_MS=20` for a CI smoke pass.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use respect_graph::models;
+use respect_sched::{balanced::ParamBalanced, Scheduler};
+use respect_tpu::sim::{self, Arrivals, SimConfig, Workload};
+use respect_tpu::{compile, device::DeviceSpec, exec, CompiledPipeline};
+
+const INFERENCES: usize = 1_000;
+
+fn pipeline(spec: &DeviceSpec) -> CompiledPipeline {
+    let dag = models::resnet152();
+    let s = ParamBalanced::new().schedule(&dag, 4).unwrap();
+    compile::compile(&dag, &s, spec).unwrap()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let spec = DeviceSpec::coral();
+    let p = pipeline(&spec);
+
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+
+    group.bench_function(format!("analytic/closed/{INFERENCES}"), |b| {
+        b.iter(|| black_box(exec::analytic(&p, &spec, INFERENCES).unwrap().total_s))
+    });
+    group.bench_function(format!("des/closed-uncontended/{INFERENCES}"), |b| {
+        b.iter(|| black_box(exec::simulate(&p, &spec, INFERENCES).unwrap().total_s))
+    });
+    group.bench_function(format!("des/closed-contended/{INFERENCES}"), |b| {
+        b.iter(|| {
+            let wl = Workload::closed_loop(p.clone(), INFERENCES);
+            black_box(
+                sim::run(&[wl], &spec, &SimConfig::contended())
+                    .unwrap()
+                    .tenants[0]
+                    .throughput_ips,
+            )
+        })
+    });
+    group.bench_function(format!("des/poisson-contended/{INFERENCES}"), |b| {
+        b.iter(|| {
+            let wl = Workload::new(p.clone(), INFERENCES).with_arrivals(Arrivals::Poisson {
+                rate: 100.0,
+                seed: 7,
+            });
+            black_box(
+                sim::run(&[wl], &spec, &SimConfig::contended())
+                    .unwrap()
+                    .tenants[0]
+                    .mean_latency_s,
+            )
+        })
+    });
+    group.bench_function(
+        format!("des/2-tenants-contended/{}x2", INFERENCES / 2),
+        |b| {
+            b.iter(|| {
+                let a = Workload::closed_loop(p.clone(), INFERENCES / 2);
+                let bq = Workload::closed_loop(p.clone(), INFERENCES / 2);
+                let r = sim::run(&[a, bq], &spec, &SimConfig::contended()).unwrap();
+                black_box(r.tenants[0].throughput_ips + r.tenants[1].throughput_ips)
+            })
+        },
+    );
+    group.bench_function(format!("des/batched-16/{INFERENCES}"), |b| {
+        b.iter(|| {
+            let wl = Workload::closed_loop(p.clone(), INFERENCES / 16).with_batch(16);
+            black_box(
+                sim::run(&[wl], &spec, &SimConfig::uncontended())
+                    .unwrap()
+                    .tenants[0]
+                    .throughput_ips,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

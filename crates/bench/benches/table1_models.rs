@@ -20,7 +20,10 @@ fn bench_models(c: &mut Criterion) {
     ];
     for ((name, dag), &(en, ev, ed, edep)) in models::table1().iter().zip(expected) {
         assert_eq!(*name, en);
-        assert_eq!((dag.len(), dag.max_in_degree(), dag.depth()), (ev, ed, edep));
+        assert_eq!(
+            (dag.len(), dag.max_in_degree(), dag.depth()),
+            (ev, ed, edep)
+        );
     }
     eprintln!("Table I statistics verified for all 10 models");
 

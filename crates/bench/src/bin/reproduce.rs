@@ -5,9 +5,12 @@
 //! cargo run --release -p respect_bench --bin reproduce -- fig3
 //! ```
 //!
-//! Experiments: `table1`, `fig3`, `fig4`, `fig5`, `ablation`, `all`.
-//! `--quick` restricts to three models, two stage counts, and a
-//! seconds-scale policy; omit it for the full 10/12-model sweep.
+//! Experiments: `table1`, `fig3`, `fig4`, `fig5`, `ablation`, `sim`,
+//! `all`. `--quick` restricts to three models, two stage counts, and a
+//! seconds-scale policy; omit it for the full 10/12-model sweep. `sim`
+//! sweeps the contended discrete-event simulator over arrival rates and
+//! tenant counts (beyond the paper: the testbed scenarios its hardware
+//! ran but its evaluation never isolated).
 
 use std::time::Duration;
 
@@ -34,15 +37,17 @@ fn main() {
         "fig4" => fig4(quick, exact_budget),
         "fig5" => fig5(quick, exact_budget),
         "ablation" => ablation(quick),
+        "sim" => sim_sweep(quick),
         "all" => {
             table1();
             fig3(quick, exact_budget);
             fig4(quick, exact_budget);
             fig5(quick, exact_budget);
             ablation(quick);
+            sim_sweep(quick);
         }
         other => {
-            eprintln!("unknown experiment {other:?}; use table1|fig3|fig4|fig5|ablation|all");
+            eprintln!("unknown experiment {other:?}; use table1|fig3|fig4|fig5|ablation|sim|all");
             std::process::exit(2);
         }
     }
@@ -50,7 +55,10 @@ fn main() {
 
 fn table1() {
     println!("\n== Table I: DNN model statistics =================================");
-    println!("{:<20} {:>6} {:>7} {:>7} {:>10}", "model", "|V|", "deg(V)", "depth", "params MB");
+    println!(
+        "{:<20} {:>6} {:>7} {:>7} {:>10}",
+        "model", "|V|", "deg(V)", "depth", "params MB"
+    );
     for r in experiments::table1() {
         println!(
             "{:<20} {:>6} {:>7} {:>7} {:>10.1}",
@@ -107,17 +115,13 @@ fn fig4(quick: bool, budget: Duration) {
         );
     }
     for stages in [4, 5, 6] {
-        let sel: Vec<&experiments::Fig4Row> =
-            rows.iter().filter(|r| r.stages == stages).collect();
+        let sel: Vec<&experiments::Fig4Row> = rows.iter().filter(|r| r.stages == stages).collect();
         if sel.is_empty() {
             continue;
         }
         let best = sel.iter().map(|r| 1.0 / r.respect_rel).fold(0.0, f64::max);
-        let mean =
-            sel.iter().map(|r| 1.0 / r.respect_rel).sum::<f64>() / sel.len() as f64;
-        println!(
-            "{stages}-stage: RESPECT speedup over compiler mean {mean:.2}x, best {best:.2}x"
-        );
+        let mean = sel.iter().map(|r| 1.0 / r.respect_rel).sum::<f64>() / sel.len() as f64;
+        println!("{stages}-stage: RESPECT speedup over compiler mean {mean:.2}x, best {best:.2}x");
     }
     println!("paper: mean 1.06x/1.08x/1.65x for 4/5/6 stages, best 2.5x");
 }
@@ -145,6 +149,34 @@ fn fig5(quick: bool, budget: Duration) {
     println!("paper: 2.26% / 2.74% / 6.31% mean gap for 4 / 5 / 6 stages");
 }
 
+fn sim_sweep(quick: bool) {
+    println!("\n== Simulator sweep: contended bus, tenants x arrival rates =======");
+    println!(
+        "{:<20} {:>3} {:>7} {:>6} {:>10} {:>10} {:>12} {:>10}",
+        "model", "T", "load", "solo", "offered", "achieved", "latency ms", "degr %"
+    );
+    for r in experiments::sim_sweep(quick) {
+        let load = if r.load == 0.0 {
+            "closed".to_string()
+        } else {
+            format!("{:.0}%", r.load * 100.0)
+        };
+        println!(
+            "{:<20} {:>3} {:>7} {:>6.0} {:>10.1} {:>10.1} {:>12.3} {:>10.2}",
+            r.name,
+            r.tenants,
+            load,
+            r.solo_ips,
+            r.offered_ips,
+            r.achieved_ips,
+            r.mean_latency_ms,
+            r.degradation_pct
+        );
+    }
+    println!("reading: 'degr %' is aggregate loss vs ideal scaling of the solo capacity");
+    println!("(closed rows: Tx solo; open-loop rows: the offered rate)");
+}
+
 fn ablation(quick: bool) {
     println!("\n== Ablation: learned order vs cost-aware packing (objective, s) ==");
     println!(
@@ -154,7 +186,12 @@ fn ablation(quick: bool) {
     for r in experiments::ablation(quick) {
         println!(
             "{:<20} {:>3} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
-            r.name, r.stages, r.balanced_default, r.pack_default, r.respect_equal_cut, r.respect_full
+            r.name,
+            r.stages,
+            r.balanced_default,
+            r.pack_default,
+            r.respect_equal_cut,
+            r.respect_full
         );
     }
     println!("reading: pack(dflt) isolates rho; RL+eqcut isolates the learned order");

@@ -4,8 +4,10 @@
 use std::time::Duration;
 
 use respect_graph::models;
-use respect_sched::{pack, order, Scheduler};
+use respect_sched::{order, pack, Scheduler};
+use respect_tpu::compile;
 use respect_tpu::device::DeviceSpec;
+use respect_tpu::sim::{self, Arrivals, SimConfig, Workload};
 
 use crate::{
     fig5_suite, model_suite, peak_param_mb, simulated_inference_s, timed_schedule, Competitors,
@@ -225,8 +227,7 @@ pub fn ablation(quick: bool) -> Vec<AblationRow> {
             let (pack_default, _) = pack::pack_default(&dag, stages, &model);
             let pi = comp.respect.predict_sequence(&dag);
             let n = dag.len();
-            let equal_cuts: Vec<usize> =
-                (1..stages).map(|k| k * n / stages).collect();
+            let equal_cuts: Vec<usize> = (1..stages).map(|k| k * n / stages).collect();
             let equal = respect_sched::Schedule::from_cuts(&pi, &equal_cuts, stages);
             let (full, _) = pack::pack(&dag, &pi, stages, &model);
             let _ = order::positions(&dag, &pi);
@@ -238,6 +239,104 @@ pub fn ablation(quick: bool) -> Vec<AblationRow> {
                 respect_equal_cut: model.objective(&dag, &equal),
                 respect_full: model.objective(&dag, &full),
             });
+        }
+    }
+    rows
+}
+
+/// One point of the simulator scenario sweep: a model under a tenant
+/// count and an offered load, on the contended discrete-event simulator.
+#[derive(Debug, Clone)]
+pub struct SimSweepRow {
+    /// Model name (all tenants run the same model).
+    pub name: &'static str,
+    /// Pipeline stages (devices in the chain).
+    pub stages: usize,
+    /// Co-resident tenants sharing the chain and bus.
+    pub tenants: usize,
+    /// Offered load as a fraction of solo closed-loop capacity
+    /// (0 = closed loop).
+    pub load: f64,
+    /// Solo closed-loop capacity, inferences/s.
+    pub solo_ips: f64,
+    /// Aggregate offered rate, inferences/s (0 for closed loop).
+    pub offered_ips: f64,
+    /// Aggregate achieved throughput across tenants, inferences/s.
+    pub achieved_ips: f64,
+    /// Mean sojourn latency across tenants, milliseconds.
+    pub mean_latency_ms: f64,
+    /// Aggregate throughput loss vs `tenants x` ideal scaling, percent.
+    pub degradation_pct: f64,
+}
+
+/// Sweeps the contended discrete-event simulator over tenant counts and
+/// open-loop arrival rates for the Table I models (quick: three models).
+///
+/// Schedules come from the parameter-balancing heuristic so the sweep
+/// needs no trained policy; the load axis is normalized per model to its
+/// solo closed-loop capacity.
+pub fn sim_sweep(quick: bool) -> Vec<SimSweepRow> {
+    let spec = DeviceSpec::coral();
+    let stages = 4;
+    let requests = if quick { 200 } else { 600 };
+    let tenant_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let loads: &[f64] = &[0.0, 0.5, 0.9]; // 0.0 = closed loop
+    let cfg = SimConfig::contended();
+    let mut rows = Vec::new();
+    for (name, dag) in model_suite(quick) {
+        let schedule = respect_sched::balanced::ParamBalanced::new()
+            .schedule(&dag, stages)
+            .expect("valid schedule");
+        let pipeline = compile::compile(&dag, &schedule, &spec).expect("compiles");
+        // same warm-up window as the sweep rows, so the baseline and the
+        // contended measurements are both steady state
+        let solo = sim::run(
+            &[Workload::closed_loop(pipeline.clone(), requests).with_warmup(requests / 10)],
+            &spec,
+            &cfg,
+        )
+        .expect("solo run")
+        .tenants[0]
+            .throughput_ips;
+        for &tenants in tenant_counts {
+            for &load in loads {
+                let per_tenant_rate = load * solo / tenants as f64;
+                let workloads: Vec<Workload> = (0..tenants)
+                    .map(|i| {
+                        let wl =
+                            Workload::new(pipeline.clone(), requests).with_warmup(requests / 10);
+                        if load == 0.0 {
+                            wl
+                        } else {
+                            wl.with_arrivals(Arrivals::Poisson {
+                                rate: per_tenant_rate,
+                                seed: 0x51b_u64 + i as u64,
+                            })
+                        }
+                    })
+                    .collect();
+                let report = sim::run(&workloads, &spec, &cfg).expect("sweep run");
+                let achieved: f64 = report.tenants.iter().map(|t| t.throughput_ips).sum();
+                let mean_latency_ms = report.tenants.iter().map(|t| t.mean_latency_s).sum::<f64>()
+                    / tenants as f64
+                    * 1e3;
+                let ideal = if load == 0.0 {
+                    solo * tenants as f64
+                } else {
+                    load * solo
+                };
+                rows.push(SimSweepRow {
+                    name,
+                    stages,
+                    tenants,
+                    load,
+                    solo_ips: solo,
+                    offered_ips: load * solo,
+                    achieved_ips: achieved,
+                    mean_latency_ms,
+                    degradation_pct: (1.0 - achieved / ideal) * 100.0,
+                });
+            }
         }
     }
     rows

@@ -86,9 +86,8 @@ fn cache_path(scale: PolicyScale) -> PathBuf {
         PolicyScale::Quick => "quick",
         PolicyScale::Bench => "bench",
     };
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        format!("{}/../../target", env!("CARGO_MANIFEST_DIR"))
-    });
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| format!("{}/../../target", env!("CARGO_MANIFEST_DIR")));
     PathBuf::from(target).join(format!("respect_policy_{tag}_v1.rspp"))
 }
 
@@ -122,11 +121,7 @@ impl Competitors {
 }
 
 /// Wall-clock of one `schedule()` call plus its result.
-pub fn timed_schedule(
-    scheduler: &dyn Scheduler,
-    dag: &Dag,
-    stages: usize,
-) -> (Schedule, Duration) {
+pub fn timed_schedule(scheduler: &dyn Scheduler, dag: &Dag, stages: usize) -> (Schedule, Duration) {
     let t0 = Instant::now();
     let schedule = scheduler
         .schedule(dag, stages)
@@ -138,7 +133,9 @@ pub fn timed_schedule(
 /// 1 000 pipelined inferences).
 pub fn simulated_inference_s(dag: &Dag, schedule: &Schedule, spec: &DeviceSpec) -> f64 {
     let pipeline = compile::compile(dag, schedule, spec).expect("valid schedule");
-    exec::simulate(&pipeline, spec, 1_000).avg_inference_s()
+    exec::simulate(&pipeline, spec, 1_000)
+        .expect("nonempty pipeline, nonzero inferences")
+        .avg_inference_s()
 }
 
 /// Peak per-stage parameter memory in MB (Fig. 5 metric).

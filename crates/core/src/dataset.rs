@@ -148,10 +148,7 @@ mod tests {
             seed: 9,
         };
         let ds = TeacherDataset::generate(&cfg, &CostModel::coral()).unwrap();
-        let high_degree_present = ds
-            .examples
-            .iter()
-            .any(|ex| ex.dag.max_in_degree() > 2);
+        let high_degree_present = ds.examples.iter().any(|ex| ex.dag.max_in_degree() > 2);
         assert!(high_degree_present, "degree-6 class must appear");
     }
 

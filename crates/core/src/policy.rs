@@ -308,10 +308,7 @@ impl PtrNetPolicy {
         let proj_p = pointer.project_context(tape, context);
 
         // decode with pointing, one batched step per output position
-        let mut masks: Vec<MaskState> = items
-            .iter()
-            .map(|(dag, _)| self.mask_init(dag))
-            .collect();
+        let mut masks: Vec<MaskState> = items.iter().map(|(dag, _)| self.mask_init(dag)).collect();
         let dec0 = bindings.var("dec0");
         let mut d = tape.concat_cols(&vec![dec0; b]); // [h, B]
         let mut state = enc_last;
@@ -331,9 +328,7 @@ impl PtrNetPolicy {
                 let mask = &flat_masks[g * n..(g + 1) * n];
                 let idx = match mode {
                     DecodeMode::Greedy => argmax_unmasked_col(tape.value(logp), g, mask),
-                    DecodeMode::Sample(rng) => {
-                        sample_unmasked_col(tape.value(logp), g, mask, rng)
-                    }
+                    DecodeMode::Sample(rng) => sample_unmasked_col(tape.value(logp), g, mask, rng),
                 };
                 choices.push(idx);
             }
@@ -403,13 +398,8 @@ impl PtrNetPolicy {
             let gprobs = masked_softmax(&gu, mask.as_slice());
             let g = context.matmul(&gprobs);
             // pointer
-            let u = attention_scores_raw(
-                &p_ref,
-                p("pointer.w_q"),
-                p("pointer.v"),
-                p("pointer.b"),
-                &g,
-            );
+            let u =
+                attention_scores_raw(&p_ref, p("pointer.w_q"), p("pointer.v"), p("pointer.b"), &g);
             let idx = match mode {
                 DecodeMode::Greedy => argmax_unmasked_col(&u, 0, mask.as_slice()),
                 DecodeMode::Sample(rng) => {
@@ -487,10 +477,7 @@ impl PtrNetPolicy {
         // decoder
         let w_dec = p("dec.w");
         let b_dec = p("dec.b");
-        let mut masks: Vec<MaskState> = items
-            .iter()
-            .map(|(dag, _)| self.mask_init(dag))
-            .collect();
+        let mut masks: Vec<MaskState> = items.iter().map(|(dag, _)| self.mask_init(dag)).collect();
         let dec0 = p("dec0");
         let mut d = Matrix::zeros(h, b);
         for g in 0..b {
@@ -794,8 +781,7 @@ mod tests {
         let (policy, dag, feats) = fixture();
         let mut tape = Tape::new();
         let bindings = policy.bind(&mut tape);
-        let rollout =
-            policy.rollout(&mut tape, &bindings, &dag, &feats, &mut DecodeMode::Greedy);
+        let rollout = policy.rollout(&mut tape, &bindings, &dag, &feats, &mut DecodeMode::Greedy);
         let lp = tape.value(rollout.log_prob).get(0, 0);
         assert!(lp < 0.0, "log prob of a 10-step decode must be < 0");
         let loss = tape.scale(rollout.log_prob, -1.0);
@@ -863,8 +849,7 @@ mod tests {
     #[test]
     fn decode_batch_matches_serial_decode() {
         let (policy, items) = batch_fixture(4);
-        let refs: Vec<(&respect_graph::Dag, &Matrix)> =
-            items.iter().map(|(d, f)| (d, f)).collect();
+        let refs: Vec<(&respect_graph::Dag, &Matrix)> = items.iter().map(|(d, f)| (d, f)).collect();
         // greedy
         let mut modes: Vec<DecodeMode> = (0..4).map(|_| DecodeMode::Greedy).collect();
         let batched = policy.decode_batch(&refs, &mut modes);
@@ -878,8 +863,7 @@ mod tests {
             .collect();
         let batched = policy.decode_batch(&refs, &mut modes);
         for (g, (dag, feats)) in items.iter().enumerate() {
-            let serial =
-                policy.decode(dag, feats, &mut DecodeMode::sample_seeded(100 + g as u64));
+            let serial = policy.decode(dag, feats, &mut DecodeMode::sample_seeded(100 + g as u64));
             assert_eq!(batched[g], serial, "sampled lane {g}");
         }
     }
@@ -887,8 +871,7 @@ mod tests {
     #[test]
     fn rollout_batch_matches_serial_rollout() {
         let (policy, items) = batch_fixture(3);
-        let refs: Vec<(&respect_graph::Dag, &Matrix)> =
-            items.iter().map(|(d, f)| (d, f)).collect();
+        let refs: Vec<(&respect_graph::Dag, &Matrix)> = items.iter().map(|(d, f)| (d, f)).collect();
         let mut modes: Vec<DecodeMode> = (0..3)
             .map(|g| DecodeMode::sample_seeded(7 + g as u64))
             .collect();
@@ -920,8 +903,7 @@ mod tests {
     #[test]
     fn rollout_batch_gradients_flow() {
         let (policy, items) = batch_fixture(2);
-        let refs: Vec<(&respect_graph::Dag, &Matrix)> =
-            items.iter().map(|(d, f)| (d, f)).collect();
+        let refs: Vec<(&respect_graph::Dag, &Matrix)> = items.iter().map(|(d, f)| (d, f)).collect();
         let mut modes: Vec<DecodeMode> = (0..2).map(|_| DecodeMode::Greedy).collect();
         let mut tape = Tape::new();
         let bindings = policy.bind(&mut tape);

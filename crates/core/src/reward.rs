@@ -30,7 +30,11 @@ pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
 /// contributes to the norm (otherwise two all-stage-0 schedules would
 /// compare as 0/ε instead of 1).
 pub fn stage_vector(schedule: &Schedule) -> Vec<f64> {
-    schedule.stage_of().iter().map(|&s| (s + 1) as f64).collect()
+    schedule
+        .stage_of()
+        .iter()
+        .map(|&s| (s + 1) as f64)
+        .collect()
 }
 
 /// Reward of an agent sequence `π` against a teacher stage assignment:
@@ -40,12 +44,7 @@ pub fn stage_vector(schedule: &Schedule) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if `pi` is not a permutation of the graph's nodes.
-pub fn sequence_reward(
-    dag: &Dag,
-    pi: &[NodeId],
-    teacher: &Schedule,
-    model: &CostModel,
-) -> f64 {
+pub fn sequence_reward(dag: &Dag, pi: &[NodeId], teacher: &Schedule, model: &CostModel) -> f64 {
     let (s_prime, _) = pack::pack(dag, pi, teacher.num_stages(), model);
     cosine_similarity(&stage_vector(&s_prime), &stage_vector(teacher))
 }

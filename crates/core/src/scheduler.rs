@@ -96,16 +96,14 @@ pub fn legalize_sequence(dag: &Dag, pi: &[NodeId]) -> Vec<NodeId> {
     let mut emitted = vec![false; dag.len()];
     let mut deferred: Vec<NodeId> = Vec::new();
     let mut out = Vec::with_capacity(pi.len());
-    let emit = |v: NodeId,
-                    out: &mut Vec<NodeId>,
-                    pending: &mut Vec<usize>,
-                    emitted: &mut Vec<bool>| {
-        emitted[v.index()] = true;
-        out.push(v);
-        for &s in dag.succs(v) {
-            pending[s.index()] -= 1;
-        }
-    };
+    let emit =
+        |v: NodeId, out: &mut Vec<NodeId>, pending: &mut Vec<usize>, emitted: &mut Vec<bool>| {
+            emitted[v.index()] = true;
+            out.push(v);
+            for &s in dag.succs(v) {
+                pending[s.index()] -= 1;
+            }
+        };
     for &v in pi {
         if pending[v.index()] == 0 && !emitted[v.index()] {
             emit(v, &mut out, &mut pending, &mut emitted);

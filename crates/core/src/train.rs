@@ -310,12 +310,18 @@ impl Trainer {
                         scope.spawn(move || rollout_shard(policy, config, exs, sds))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("rollout worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rollout worker"))
+                    .collect()
             })
         };
 
         // baseline per graph (batch-level state stays on the main thread)
-        let rewards: Vec<f64> = shards.iter().flat_map(|s| s.rewards.iter().copied()).collect();
+        let rewards: Vec<f64> = shards
+            .iter()
+            .flat_map(|s| s.rewards.iter().copied())
+            .collect();
         let batch_mean = mean(&rewards);
         let baselines: Vec<f64> = match self.config.baseline {
             Baseline::GreedyRollout => shards
@@ -352,7 +358,10 @@ impl Trainer {
                     lo = hi;
                     rest = tail;
                 }
-                handles.into_iter().map(|h| h.join().expect("backward worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("backward worker"))
+                    .collect()
             })
         };
         let mut total = shard_grads[0].clone();
@@ -545,7 +554,10 @@ mod tests {
             .zip(&report.batch_baselines)
             .skip(1)
             .any(|(r, b)| r != b);
-        assert!(moved, "baseline should track history, not the current batch");
+        assert!(
+            moved,
+            "baseline should track history, not the current batch"
+        );
     }
 
     #[test]
@@ -556,7 +568,11 @@ mod tests {
         cfg.batch_size = 4; // 2 shards of 2 graphs each
         let a = train_policy(&cfg).unwrap();
         let b = train_policy(&cfg).unwrap();
-        assert_eq!(a.params(), b.params(), "2-thread training must be reproducible");
+        assert_eq!(
+            a.params(),
+            b.params(),
+            "2-thread training must be reproducible"
+        );
     }
 
     #[test]

@@ -361,7 +361,9 @@ impl Dag {
 
     /// Nodes with no predecessors.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.in_degree(v) == 0).collect()
+        self.node_ids()
+            .filter(|&v| self.in_degree(v) == 0)
+            .collect()
     }
 
     /// Nodes with no successors.
@@ -547,8 +549,16 @@ mod tests {
     #[test]
     fn totals_accumulate() {
         let mut b = DagBuilder::new();
-        b.add_node(OpNode::new("a", OpKind::Conv2d).with_params(10).with_macs(5));
-        b.add_node(OpNode::new("b", OpKind::Conv2d).with_params(32).with_macs(7));
+        b.add_node(
+            OpNode::new("a", OpKind::Conv2d)
+                .with_params(10)
+                .with_macs(5),
+        );
+        b.add_node(
+            OpNode::new("b", OpKind::Conv2d)
+                .with_params(32)
+                .with_macs(7),
+        );
         let d = b.build().unwrap();
         assert_eq!(d.total_param_bytes(), 42);
         assert_eq!(d.total_macs(), 12);

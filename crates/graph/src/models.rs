@@ -129,8 +129,8 @@ impl ModelSpec {
             } else {
                 OpKind::Conv2d
             };
-            let node = OpNode::new(format!("{}_l{}", self.name, i), kind)
-                .with_output(activation_bytes(t));
+            let node =
+                OpNode::new(format!("{}_l{}", self.name, i), kind).with_output(activation_bytes(t));
             chain.push(b.add_node(node));
         }
         for w in chain.windows(2) {
@@ -142,7 +142,11 @@ impl ModelSpec {
         // and spans `branch_len + 1` chain edges; merge nodes get in-degree
         // `branches_per_block + 1`.
         let per_block = (self.branches_per_block * self.branch_len).max(1);
-        let num_blocks = if self.branch_len == 0 { 0 } else { extra / per_block };
+        let num_blocks = if self.branch_len == 0 {
+            0
+        } else {
+            extra / per_block
+        };
         assert_eq!(
             num_blocks * per_block,
             if self.branch_len == 0 { 0 } else { extra },
@@ -431,11 +435,7 @@ mod tests {
     fn later_layers_hold_more_parameters() {
         let dag = resnet50();
         let n = dag.len();
-        let early: u64 = dag
-            .iter()
-            .take(n / 4)
-            .map(|(_, nd)| nd.param_bytes)
-            .sum();
+        let early: u64 = dag.iter().take(n / 4).map(|(_, nd)| nd.param_bytes).sum();
         let late: u64 = dag
             .iter()
             .skip(3 * n / 4)

@@ -192,7 +192,10 @@ mod tests {
                 .iter()
                 .fold((f32::MAX, f32::MIN), |(l, h), &x| (l.min(x), h.max(x)));
             let v = gv.get(r, 0);
-            assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "row {r}: {v} not in [{lo},{hi}]");
+            assert!(
+                v >= lo - 1e-5 && v <= hi + 1e-5,
+                "row {r}: {v} not in [{lo},{hi}]"
+            );
         }
     }
 

@@ -165,12 +165,7 @@ impl LstmCell {
 
     /// Runs the cell over a sequence of inputs, returning every hidden
     /// state and the final state.
-    pub fn run(
-        &self,
-        tape: &mut Tape,
-        inputs: &[Var],
-        init: LstmState,
-    ) -> (Vec<Var>, LstmState) {
+    pub fn run(&self, tape: &mut Tape, inputs: &[Var], init: LstmState) -> (Vec<Var>, LstmState) {
         let mut state = init;
         let mut hs = Vec::with_capacity(inputs.len());
         for &x in inputs {
@@ -268,10 +263,7 @@ mod tests {
     #[test]
     fn step_batch_columns_match_serial_steps() {
         let (params, spec) = setup(3, 4);
-        let cols = [
-            [0.3f32, -0.2, 0.9],
-            [1.1, 0.0, -0.5],
-        ];
+        let cols = [[0.3f32, -0.2, 0.9], [1.1, 0.0, -0.5]];
         // batched: both inputs as one [3, 2] matrix
         let mut tape = Tape::new();
         let binds = params.bind(&mut tape);

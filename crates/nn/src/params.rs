@@ -85,11 +85,7 @@ impl Params {
 
     /// Injects every parameter as a leaf on `tape`.
     pub fn bind(&self, tape: &mut Tape) -> Bindings {
-        let vars = self
-            .values
-            .iter()
-            .map(|m| tape.leaf(m.clone()))
-            .collect();
+        let vars = self.values.iter().map(|m| tape.leaf(m.clone())).collect();
         Bindings {
             vars,
             index: self.index.clone(),

@@ -153,7 +153,10 @@ mod tests {
 
     fn sample() -> Params {
         let mut p = Params::new();
-        p.insert("enc.w", Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        p.insert(
+            "enc.w",
+            Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]),
+        );
         p.insert("enc.b", Matrix::col_from_slice(&[-1.0, 0.5]));
         p
     }

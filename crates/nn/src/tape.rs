@@ -127,19 +127,25 @@ impl Tape {
 
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x + y);
         self.push(v, Op::Add(a, b))
     }
 
     /// Elementwise `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x - y);
         self.push(v, Op::Sub(a, b))
     }
 
     /// Elementwise `a * b` (Hadamard).
     pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x * y);
         self.push(v, Op::MulElem(a, b))
     }
 
@@ -295,7 +301,11 @@ impl Tape {
         let lse = masked_log_sum_exp(av, mask);
         let mut out = Matrix::zeros(av.rows(), 1);
         for (i, &masked) in mask.iter().enumerate() {
-            let y = if masked { NEG_INF_LOGIT } else { av.get(i, 0) - lse };
+            let y = if masked {
+                NEG_INF_LOGIT
+            } else {
+                av.get(i, 0) - lse
+            };
             out.set(i, 0, y);
         }
         self.push(out, Op::LogSoftmaxMaskedCol(a, mask.to_vec()))
@@ -407,7 +417,11 @@ impl Tape {
             let mask = &masks[g * n..(g + 1) * n];
             let lse = col_masked_log_sum_exp(av, g, mask);
             for (i, &masked) in mask.iter().enumerate() {
-                let y = if masked { NEG_INF_LOGIT } else { av.get(i, g) - lse };
+                let y = if masked {
+                    NEG_INF_LOGIT
+                } else {
+                    av.get(i, g) - lse
+                };
                 out.set(i, g, y);
             }
         }
@@ -667,10 +681,7 @@ impl Tape {
                     let mut da = Matrix::zeros(n, y.cols());
                     for gg in 0..y.cols() {
                         let mask = &masks[gg * n..(gg + 1) * n];
-                        let gsum: f32 = (0..n)
-                            .filter(|&i| !mask[i])
-                            .map(|i| g.get(i, gg))
-                            .sum();
+                        let gsum: f32 = (0..n).filter(|&i| !mask[i]).map(|i| g.get(i, gg)).sum();
                         for (i, &masked) in mask.iter().enumerate() {
                             if !masked {
                                 da.set(i, gg, g.get(i, gg) - y.get(i, gg).exp() * gsum);
@@ -818,11 +829,7 @@ mod tests {
     use super::*;
 
     /// Checks d loss / d leaf against central finite differences.
-    fn finite_diff_check(
-        build: impl Fn(&mut Tape, Var) -> Var,
-        input: Matrix,
-        tol: f32,
-    ) {
+    fn finite_diff_check(build: impl Fn(&mut Tape, Var) -> Var, input: Matrix, tol: f32) {
         let eps = 1e-3f32;
         let mut tape = Tape::new();
         let x = tape.leaf(input.clone());
@@ -856,19 +863,40 @@ mod tests {
 
     #[test]
     fn grad_tanh() {
-        finite_diff_check(|t, x| { let y = t.tanh(x); t.sum(y) }, test_input(4), 1e-2);
+        finite_diff_check(
+            |t, x| {
+                let y = t.tanh(x);
+                t.sum(y)
+            },
+            test_input(4),
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_sigmoid() {
-        finite_diff_check(|t, x| { let y = t.sigmoid(x); t.sum(y) }, test_input(4), 1e-2);
+        finite_diff_check(
+            |t, x| {
+                let y = t.sigmoid(x);
+                t.sum(y)
+            },
+            test_input(4),
+            1e-2,
+        );
     }
 
     #[test]
     fn grad_relu() {
         // offset inputs away from the kink at 0
         let input = Matrix::from_vec(4, 1, vec![-1.3, -0.4, 0.6, 1.9]);
-        finite_diff_check(|t, x| { let y = t.relu(x); t.sum(y) }, input, 1e-2);
+        finite_diff_check(
+            |t, x| {
+                let y = t.relu(x);
+                t.sum(y)
+            },
+            input,
+            1e-2,
+        );
     }
 
     #[test]

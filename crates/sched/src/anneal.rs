@@ -103,13 +103,25 @@ impl Scheduler for Annealing {
         for _ in 0..self.iterations {
             // applied single-node moves, in order, for a possible undo
             enum Applied {
-                Cut { idx: usize, old: usize, node: NodeId, prev: usize },
-                Swap { i: usize, moved: Option<(NodeId, usize, NodeId, usize)> },
+                Cut {
+                    idx: usize,
+                    old: usize,
+                    node: NodeId,
+                    prev: usize,
+                },
+                Swap {
+                    i: usize,
+                    moved: Option<(NodeId, usize, NodeId, usize)>,
+                },
             }
             let applied = if num_stages > 1 && rng.gen_bool(0.5) {
                 let idx = rng.gen_range(0..cuts.len());
                 let lo = if idx == 0 { 0 } else { cuts[idx - 1] };
-                let hi = if idx + 1 == cuts.len() { n } else { cuts[idx + 1] };
+                let hi = if idx + 1 == cuts.len() {
+                    n
+                } else {
+                    cuts[idx + 1]
+                };
                 let delta: isize = if rng.gen_bool(0.5) { 1 } else { -1 };
                 let old = cuts[idx];
                 let to = old.saturating_add_signed(delta).clamp(lo, hi);
@@ -120,13 +132,17 @@ impl Scheduler for Annealing {
                 // across one stage boundary: cut up (`old → old + 1`)
                 // pulls the node at position `old` one stage earlier, cut
                 // down pushes the node at position `to` one stage later
-                let (pos, shift): (usize, isize) =
-                    if to > old { (old, -1) } else { (to, 1) };
+                let (pos, shift): (usize, isize) = if to > old { (old, -1) } else { (to, 1) };
                 let node = sequence[pos];
                 let stage = eval.stage(node).saturating_add_signed(shift);
                 let prev = eval.move_node(node, stage);
                 cuts[idx] = to;
-                Applied::Cut { idx, old, node, prev }
+                Applied::Cut {
+                    idx,
+                    old,
+                    node,
+                    prev,
+                }
             } else {
                 if n < 2 {
                     continue;
@@ -160,7 +176,12 @@ impl Scheduler for Annealing {
                 }
             } else {
                 match applied {
-                    Applied::Cut { idx, old, node, prev } => {
+                    Applied::Cut {
+                        idx,
+                        old,
+                        node,
+                        prev,
+                    } => {
                         eval.move_node(node, prev);
                         cuts[idx] = old;
                     }

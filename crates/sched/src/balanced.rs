@@ -78,9 +78,7 @@ impl Scheduler for ParamBalanced {
             cum += dag.node(v).param_bytes;
             // cut as soon as the running prefix reaches k/num_stages of the
             // total parameter volume
-            while cuts.len() + 1 < num_stages
-                && cum * num_stages as u64 >= total * next_target
-            {
+            while cuts.len() + 1 < num_stages && cum * num_stages as u64 >= total * next_target {
                 cuts.push(i + 1);
                 next_target += 1;
             }
@@ -119,10 +117,7 @@ mod tests {
         let total = dag.total_param_bytes();
         for (k, r) in res.iter().enumerate() {
             let share = r.param_bytes as f64 / total as f64;
-            assert!(
-                share < 0.5,
-                "stage {k} holds {share:.2} of all parameters"
-            );
+            assert!(share < 0.5, "stage {k} holds {share:.2} of all parameters");
         }
         // every stage holds something
         assert!(res.iter().all(|r| r.param_bytes > 0));

@@ -58,8 +58,7 @@ struct Search<'a> {
 impl Search<'_> {
     fn dfs(&mut self, idx: usize) {
         if idx == self.order.len() {
-            let s =
-                Schedule::new(self.stage_of.clone(), self.num_stages).expect("stages in range");
+            let s = Schedule::new(self.stage_of.clone(), self.num_stages).expect("stages in range");
             let obj = self.model.objective(self.dag, &s);
             if obj < self.best {
                 self.best = obj;
@@ -144,10 +143,26 @@ mod tests {
     #[test]
     fn respects_dependencies_on_diamond() {
         let mut b = DagBuilder::new();
-        let a = b.add_node(OpNode::new("a", OpKind::Conv2d).with_params(1).with_output(1));
-        let x = b.add_node(OpNode::new("x", OpKind::Conv2d).with_params(9).with_output(1));
-        let y = b.add_node(OpNode::new("y", OpKind::Conv2d).with_params(9).with_output(1));
-        let z = b.add_node(OpNode::new("z", OpKind::Conv2d).with_params(1).with_output(1));
+        let a = b.add_node(
+            OpNode::new("a", OpKind::Conv2d)
+                .with_params(1)
+                .with_output(1),
+        );
+        let x = b.add_node(
+            OpNode::new("x", OpKind::Conv2d)
+                .with_params(9)
+                .with_output(1),
+        );
+        let y = b.add_node(
+            OpNode::new("y", OpKind::Conv2d)
+                .with_params(9)
+                .with_output(1),
+        );
+        let z = b.add_node(
+            OpNode::new("z", OpKind::Conv2d)
+                .with_params(1)
+                .with_output(1),
+        );
         b.add_edge(a, x).unwrap();
         b.add_edge(a, y).unwrap();
         b.add_edge(x, z).unwrap();

@@ -274,7 +274,10 @@ mod tests {
         assert_eq!(acc.param_bytes, res.param_bytes);
         assert_eq!(acc.macs, res.macs);
         assert_eq!(acc.cut_in_bytes, res.cut_in_bytes);
-        assert!((acc.cost(&m) - m.stage_cost(res.param_bytes, res.macs, res.cut_in_bytes)).abs() < 1e-18);
+        assert!(
+            (acc.cost(&m) - m.stage_cost(res.param_bytes, res.macs, res.cut_in_bytes)).abs()
+                < 1e-18
+        );
     }
 
     #[test]

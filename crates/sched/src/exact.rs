@@ -250,8 +250,7 @@ impl ExactScheduler {
             let mut next: HashMap<NodeSet, Entry> = HashMap::new();
             let mut boundaries: Vec<(&NodeSet, &Entry)> = frontier.iter().collect();
             // expand promising boundaries first so ub tightens early
-            boundaries
-                .sort_by(|a, b| a.1.bottleneck.partial_cmp(&b.1.bottleneck).expect("finite"));
+            boundaries.sort_by(|a, b| a.1.bottleneck.partial_cmp(&b.1.bottleneck).expect("finite"));
             for (boundary, entry) in boundaries {
                 if entry.bottleneck >= ub {
                     continue;
@@ -360,17 +359,15 @@ impl ExactScheduler {
                                     }
                                     cur = parent;
                                 }
-                                *best = Schedule::new(stage_of, num_stages)
-                                    .expect("stages in range");
+                                *best =
+                                    Schedule::new(stage_of, num_stages).expect("stages in range");
                             }
                         } else if k < num_stages {
                             // lower bound for the remainder
-                            let rest_params =
-                                total_params - covered_params - acc2.param_bytes;
+                            let rest_params = total_params - covered_params - acc2.param_bytes;
                             let rest_macs = total_macs - covered_macs - acc2.macs;
                             let m = (num_stages - k) as u64;
-                            let spill =
-                                (rest_params / m).saturating_sub(dfs.model.cache_bytes);
+                            let spill = (rest_params / m).saturating_sub(dfs.model.cache_bytes);
                             let lb_rest = dfs.model.sec_per_mac * (rest_macs / m) as f64
                                 + dfs.model.sec_per_byte * spill as f64;
                             if nb.max(lb_rest) < *ub {
@@ -414,8 +411,7 @@ impl ExactScheduler {
 
                         // undo v
                         for &s in woken.iter().rev() {
-                            let wslot =
-                                dfs.ready.iter().position(|&r| r == s).expect("woken");
+                            let wslot = dfs.ready.iter().position(|&r| r == s).expect("woken");
                             dfs.ready.swap_remove(wslot);
                         }
                         for &s in dfs.dag.succs(v) {

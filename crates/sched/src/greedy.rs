@@ -124,8 +124,7 @@ impl Scheduler for GreedyCost {
                             continue;
                         }
                         // one cut shift = one node crossing one boundary
-                        let (p, shift): (usize, isize) =
-                            if to > old { (old, -1) } else { (to, 1) };
+                        let (p, shift): (usize, isize) = if to > old { (old, -1) } else { (to, 1) };
                         let node = sequence[p];
                         let stage = eval.stage(node).saturating_add_signed(shift);
                         let prev = eval.move_node(node, stage);

@@ -287,8 +287,7 @@ mod tests {
             // when it proves, it must agree with the structured solver
             let exact = ExactScheduler::new(model).solve(&dag, 4).unwrap();
             assert!(
-                (ilp.objective - exact.objective).abs()
-                    <= 1e-9 * exact.objective.max(1e-12),
+                (ilp.objective - exact.objective).abs() <= 1e-9 * exact.objective.max(1e-12),
                 "ilp {} vs exact {}",
                 ilp.objective,
                 exact.objective

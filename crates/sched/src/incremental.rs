@@ -162,7 +162,12 @@ mod tests {
     /// a(1MB,10) -> b(2MB,20) -> d(1MB,5); a -> c(4MB,40) -> d.
     fn diamond() -> Dag {
         let mut b = DagBuilder::new();
-        let specs = [(1u64 << 20, 10u64), (2 << 20, 20), (4 << 20, 40), (1 << 20, 5)];
+        let specs = [
+            (1u64 << 20, 10u64),
+            (2 << 20, 20),
+            (4 << 20, 40),
+            (1 << 20, 5),
+        ];
         let ids: Vec<_> = specs
             .iter()
             .enumerate()

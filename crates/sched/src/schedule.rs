@@ -222,7 +222,10 @@ mod tests {
                 num_stages: 2
             }
         );
-        assert_eq!(Schedule::new(vec![], 0).unwrap_err(), ScheduleError::NoStages);
+        assert_eq!(
+            Schedule::new(vec![], 0).unwrap_err(),
+            ScheduleError::NoStages
+        );
     }
 
     #[test]
@@ -246,7 +249,10 @@ mod tests {
         let s = Schedule::new(vec![0, 0], 1).unwrap();
         assert!(matches!(
             s.validate(&dag).unwrap_err(),
-            ScheduleError::LengthMismatch { got: 2, expected: 3 }
+            ScheduleError::LengthMismatch {
+                got: 2,
+                expected: 3
+            }
         ));
     }
 

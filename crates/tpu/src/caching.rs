@@ -62,7 +62,11 @@ pub fn allocate(dag: &Dag, schedule: &Schedule, spec: &DeviceSpec) -> Vec<StageC
 
 /// Peak per-stage parameter memory in bytes (Fig. 5's vertical axis).
 pub fn peak_stage_bytes(allocations: &[StageCaching]) -> u64 {
-    allocations.iter().map(StageCaching::total_bytes).max().unwrap_or(0)
+    allocations
+        .iter()
+        .map(StageCaching::total_bytes)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -73,8 +77,16 @@ mod tests {
 
     fn two_node_chain(p0: u64, p1: u64) -> Dag {
         let mut b = DagBuilder::new();
-        let a = b.add_node(OpNode::new("a", OpKind::Conv2d).with_params(p0).with_output(1));
-        let c = b.add_node(OpNode::new("b", OpKind::Conv2d).with_params(p1).with_output(1));
+        let a = b.add_node(
+            OpNode::new("a", OpKind::Conv2d)
+                .with_params(p0)
+                .with_output(1),
+        );
+        let c = b.add_node(
+            OpNode::new("b", OpKind::Conv2d)
+                .with_params(p1)
+                .with_output(1),
+        );
         b.add_edge(a, c).unwrap();
         b.build().unwrap()
     }
@@ -124,6 +136,66 @@ mod tests {
             assert_eq!(total, dag.total_param_bytes(), "k={k}");
             assert!(peak_stage_bytes(&alloc) >= total / k as u64);
         }
+    }
+
+    #[test]
+    fn single_node_schedule_caches_or_streams_whole() {
+        let spec = DeviceSpec::coral();
+        // fits: fully cached
+        let mut b = DagBuilder::new();
+        b.add_node(
+            OpNode::new("only", OpKind::Conv2d)
+                .with_params(spec.sram_bytes)
+                .with_output(1),
+        );
+        let dag = b.build().unwrap();
+        let s = Schedule::new(vec![0], 1).unwrap();
+        let alloc = allocate(&dag, &s, &spec);
+        assert_eq!(alloc.len(), 1);
+        assert_eq!(alloc[0].placement.len(), 1);
+        assert_eq!(alloc[0].cached_bytes, spec.sram_bytes);
+        assert_eq!(alloc[0].streamed_bytes, 0);
+        assert_eq!(peak_stage_bytes(&alloc), spec.sram_bytes);
+        // one byte over: the single node streams in full
+        let mut b = DagBuilder::new();
+        b.add_node(
+            OpNode::new("fat", OpKind::Conv2d)
+                .with_params(spec.sram_bytes + 1)
+                .with_output(1),
+        );
+        let dag = b.build().unwrap();
+        let alloc = allocate(&dag, &s, &spec);
+        assert_eq!(alloc[0].cached_bytes, 0);
+        assert_eq!(alloc[0].streamed_bytes, spec.sram_bytes + 1);
+        assert!(!alloc[0].placement[0].1);
+    }
+
+    #[test]
+    fn empty_stages_get_empty_allocations() {
+        // a 3-stage schedule that leaves stage 1 unpopulated
+        let dag = two_node_chain(1 << 20, 1 << 20);
+        let s = Schedule::new(vec![0, 2], 3).unwrap();
+        let alloc = allocate(&dag, &s, &DeviceSpec::coral());
+        assert_eq!(alloc.len(), 3);
+        assert!(alloc[1].placement.is_empty());
+        assert_eq!(alloc[1].total_bytes(), 0);
+        assert_eq!(peak_stage_bytes(&alloc), 1 << 20);
+    }
+
+    #[test]
+    fn peak_of_no_allocations_is_zero() {
+        assert_eq!(peak_stage_bytes(&[]), 0);
+    }
+
+    #[test]
+    fn zero_param_nodes_cost_no_cache() {
+        let dag = two_node_chain(0, 0);
+        let s = Schedule::new(vec![0, 0], 1).unwrap();
+        let alloc = allocate(&dag, &s, &DeviceSpec::coral());
+        assert_eq!(alloc[0].cached_bytes, 0);
+        assert_eq!(alloc[0].streamed_bytes, 0);
+        assert!(alloc[0].placement.iter().all(|&(_, cached)| cached));
+        assert_eq!(peak_stage_bytes(&alloc), 0);
     }
 
     #[test]

@@ -169,7 +169,11 @@ impl EdgeTpuCompiler {
     /// # Errors
     ///
     /// Propagates partitioning errors (e.g. zero stages).
-    pub fn compile_full(&self, dag: &Dag, num_stages: usize) -> Result<CompileOutput, ScheduleError> {
+    pub fn compile_full(
+        &self,
+        dag: &Dag,
+        num_stages: usize,
+    ) -> Result<CompileOutput, ScheduleError> {
         let schedule = OpBalanced::new().schedule(dag, num_stages)?;
         let pipeline = compile(dag, &schedule, &self.spec)?;
 

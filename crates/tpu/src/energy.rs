@@ -69,7 +69,7 @@ mod tests {
         let spec = DeviceSpec::coral();
         let s = ParamBalanced::new().schedule(&dag, stages).unwrap();
         let p = compile::compile(&dag, &s, &spec).unwrap();
-        let r = exec::simulate(&p, &spec, inferences);
+        let r = exec::simulate(&p, &spec, inferences).unwrap();
         (estimate(&p, &spec, &r), r)
     }
 

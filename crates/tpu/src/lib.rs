@@ -14,8 +14,12 @@
 //!   materialization, a real int8 quantization pass, binary layout, and
 //!   the parameter-balancing partitioner (its wall-clock stands in for
 //!   the commercial compiler's solving time in Fig. 3);
-//! * [`exec`] — a discrete-event simulator of pipelined inference
-//!   streams (the Fig. 4 on-chip runtime metric);
+//! * [`sim`] — the deterministic discrete-event engine: per-device FIFO
+//!   servers, an optionally shared host USB bus with FIFO contention,
+//!   open/closed-loop arrivals, batching, and multi-tenant co-residency;
+//! * [`exec`] — pipelined inference streams on top of [`sim`] (the
+//!   Fig. 4 on-chip runtime metric), plus the closed-form analytic
+//!   oracle the engine is differentially tested against;
 //! * [`energy`] — per-inference energy of the multi-TPU system.
 //!
 //! # Example
@@ -30,7 +34,7 @@
 //! let schedule = ParamBalanced::new().schedule(&dag, 4)?;
 //! let spec = DeviceSpec::coral();
 //! let pipeline = compile::compile(&dag, &schedule, &spec)?;
-//! let report = exec::simulate(&pipeline, &spec, 1000);
+//! let report = exec::simulate(&pipeline, &spec, 1000)?;
 //! assert!(report.throughput_ips > 0.0);
 //! # Ok(())
 //! # }
@@ -42,8 +46,10 @@ pub mod device;
 pub mod energy;
 pub mod exec;
 pub mod profiling;
+pub mod sim;
 pub mod usb;
 
 pub use compile::{CompiledPipeline, EdgeTpuCompiler, Segment};
 pub use device::DeviceSpec;
 pub use exec::InferenceReport;
+pub use sim::{Arrivals, SimConfig, SimError, SimReport, TenantReport, Workload};

@@ -1,0 +1,1006 @@
+//! Deterministic discrete-event simulation of pipelined Edge TPU systems.
+//!
+//! The closed-form tandem-queue recurrence in [`crate::exec`] assumes one
+//! atomic deterministic service per stage and an infinitely wide host
+//! interface. This module replaces that idealization with an event-driven
+//! engine over *explicit resources*, which opens the scenario axes the
+//! paper's testbed actually has:
+//!
+//! * **Devices** — each pipeline position is a single-server FIFO (an
+//!   Edge TPU can run one request at a time);
+//! * **The host USB bus** — optionally shared: input/output activations
+//!   and streamed off-cache parameters of *every* device compete for one
+//!   bulk link in FIFO order ([`SimConfig::contended_bus`]);
+//! * **Host dispatch** — the per-request submission overhead.
+//!
+//! On top of the engine, [`Workload`] models the scenario axes:
+//!
+//! * **Arrivals** — the legacy closed-loop stream (infinite backlog at
+//!   `t = 0`), deterministic open-loop rates, or seeded-Poisson arrivals
+//!   ([`Arrivals`]);
+//! * **Batching** — a request carries `batch` inferences: compute and
+//!   payload bytes scale with the batch while the fixed host and USB
+//!   submission overheads are paid once per request;
+//! * **Warm-up windows** — the first `warmup` requests are excluded from
+//!   the measured throughput/latency window;
+//! * **Multi-tenancy** — several [`Workload`]s (distinct
+//!   [`CompiledPipeline`]s) co-resident on one device chain and bus.
+//!
+//! The engine is bitwise deterministic: events are ordered by
+//! `(time, insertion sequence)` in a binary heap, all queues are FIFO,
+//! and the only randomness is the seeded Poisson sampler from the `rand`
+//! shim. With an uncontended bus, a single closed-loop unbatched tenant
+//! reproduces the analytic recurrence *exactly* (same additions in the
+//! same order) — property-tested in `tests/sim_properties.rs`.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::compile::{CompiledPipeline, Segment};
+use crate::device::DeviceSpec;
+use crate::usb;
+
+/// Errors rejected by [`run`] before any event is simulated.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// No workloads were supplied.
+    NoWorkloads,
+    /// A workload requested zero inferences/requests.
+    NoRequests,
+    /// A workload's pipeline has no stages.
+    EmptyPipeline,
+    /// A workload's batch size is zero.
+    ZeroBatch,
+    /// An open-loop arrival rate is zero, negative, or non-finite.
+    InvalidRate {
+        /// The offending requests-per-second rate.
+        rate: f64,
+    },
+    /// The warm-up window would swallow every request.
+    WarmupTooLarge {
+        /// Requests excluded from measurement.
+        warmup: usize,
+        /// Requests in the workload.
+        requests: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoWorkloads => write!(f, "simulation needs at least one workload"),
+            SimError::NoRequests => write!(f, "simulate at least one inference"),
+            SimError::EmptyPipeline => write!(f, "pipeline has no stages"),
+            SimError::ZeroBatch => write!(f, "batch size must be at least 1"),
+            SimError::InvalidRate { rate } => {
+                write!(
+                    f,
+                    "open-loop arrival rate must be positive and finite, got {rate}"
+                )
+            }
+            SimError::WarmupTooLarge { warmup, requests } => write!(
+                f,
+                "warm-up of {warmup} requests leaves nothing to measure out of {requests}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// How requests enter the system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Arrivals {
+    /// Infinite backlog: every request is queued at `t = 0` (the legacy
+    /// closed-loop stream of [`crate::exec`]).
+    ClosedLoop,
+    /// Deterministic open loop: request `j` arrives at `j / rate`.
+    Periodic {
+        /// Requests per second.
+        rate: f64,
+    },
+    /// Open loop with exponential inter-arrival times of mean `1 / rate`,
+    /// drawn from the seeded `rand` shim (deterministic per seed).
+    Poisson {
+        /// Mean requests per second.
+        rate: f64,
+        /// RNG seed for the inter-arrival stream.
+        seed: u64,
+    },
+}
+
+/// One tenant: a compiled pipeline plus its traffic shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The model, compiled onto the device chain (stage `k` of the
+    /// pipeline runs on device `k`).
+    pub pipeline: CompiledPipeline,
+    /// Arrival process of the request stream.
+    pub arrivals: Arrivals,
+    /// Number of requests to simulate.
+    pub requests: usize,
+    /// Inferences carried per request. Compute and payload bytes scale
+    /// with the batch; fixed host/USB submission overheads are paid once
+    /// per request — the amortization batching buys on real hardware.
+    pub batch: usize,
+    /// Requests excluded from the front of the measurement window.
+    pub warmup: usize,
+}
+
+impl Workload {
+    /// A workload with the default traffic shape — closed-loop arrivals,
+    /// batch 1, no warm-up. Compose with the `with_*` builders to pick a
+    /// scenario.
+    pub fn new(pipeline: CompiledPipeline, requests: usize) -> Self {
+        Workload {
+            pipeline,
+            arrivals: Arrivals::ClosedLoop,
+            requests,
+            batch: 1,
+            warmup: 0,
+        }
+    }
+
+    /// A closed-loop unbatched stream — the legacy `exec::simulate`
+    /// scenario, spelled out (alias of [`Workload::new`]).
+    pub fn closed_loop(pipeline: CompiledPipeline, requests: usize) -> Self {
+        Self::new(pipeline, requests)
+    }
+
+    /// Replaces the arrival process.
+    pub fn with_arrivals(mut self, arrivals: Arrivals) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Replaces the per-request batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Excludes the first `warmup` requests from the measured window.
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Total inferences carried by the workload.
+    pub fn inferences(&self) -> usize {
+        self.requests * self.batch
+    }
+
+    /// Pipeline depth (devices used).
+    pub fn stages(&self) -> usize {
+        self.pipeline.segments.len()
+    }
+}
+
+/// Engine-level switches, orthogonal to the workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// `false`: every device has a dedicated host link (the analytic
+    /// idealization of the legacy recurrence). `true`: all activation and
+    /// parameter transfers of all devices and tenants share one USB bus,
+    /// served in FIFO order.
+    pub contended_bus: bool,
+    /// Record per-resource busy intervals in [`SimReport::trace`]
+    /// (costs memory proportional to event count; meant for tests).
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// Dedicated per-device links — the legacy degenerate case.
+    pub fn uncontended() -> Self {
+        SimConfig {
+            contended_bus: false,
+            record_trace: false,
+        }
+    }
+
+    /// One shared host USB bus with FIFO contention.
+    pub fn contended() -> Self {
+        SimConfig {
+            contended_bus: true,
+            record_trace: false,
+        }
+    }
+
+    /// Enables trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::uncontended()
+    }
+}
+
+/// A simulated resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceId {
+    /// Edge TPU at chain position `k`.
+    Device(usize),
+    /// The shared host USB bus.
+    Bus,
+}
+
+/// One busy interval of one resource (recorded when
+/// [`SimConfig::record_trace`] is set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// The resource that was held.
+    pub resource: ResourceId,
+    /// Tenant (workload index) holding it.
+    pub tenant: usize,
+    /// Request index within the tenant.
+    pub request: usize,
+    /// Pipeline stage the hold belongs to.
+    pub stage: usize,
+    /// Hold start, seconds.
+    pub start_s: f64,
+    /// Hold end, seconds.
+    pub end_s: f64,
+}
+
+/// Per-tenant results of a simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Requests simulated.
+    pub requests: usize,
+    /// Inferences simulated (`requests × batch`).
+    pub inferences: usize,
+    /// Inferences inside the measured window.
+    pub measured_inferences: usize,
+    /// Completion time of the last request, seconds.
+    pub total_s: f64,
+    /// Sojourn time of the first request (completion − arrival), seconds.
+    pub first_latency_s: f64,
+    /// Mean sojourn time over the measured window, seconds.
+    pub mean_latency_s: f64,
+    /// Worst sojourn time over the measured window, seconds.
+    pub max_latency_s: f64,
+    /// Measured-window throughput, inferences per second.
+    pub throughput_ips: f64,
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// One report per workload, in input order.
+    pub tenants: Vec<TenantReport>,
+    /// Time the last event fired, seconds.
+    pub makespan_s: f64,
+    /// Total time the shared bus was busy, seconds (0 when uncontended).
+    pub bus_busy_s: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Busy intervals per resource (empty unless
+    /// [`SimConfig::record_trace`]).
+    pub trace: Vec<TraceSpan>,
+}
+
+/// Per-stage timings of one workload, batch-scaled once up front.
+#[derive(Debug, Clone, Copy)]
+struct StageTiming {
+    /// Atomic hold for the uncontended path: exactly
+    /// `host + usb(in) + compute + usb(stream) + usb(out)` in that
+    /// order of addition (bitwise-identical to the analytic recurrence
+    /// for `batch == 1`).
+    hold_s: f64,
+    host_s: f64,
+    input_s: f64,
+    compute_s: f64,
+    stream_s: f64,
+    output_s: f64,
+}
+
+/// Deterministic service time of one stage for a `batch`-inference
+/// request: fixed overheads once, payloads scaled by the batch.
+pub fn batch_service_time(seg: &Segment, spec: &DeviceSpec, batch: usize) -> f64 {
+    let b = batch as u64;
+    spec.host_overhead_s
+        + usb::transfer_time(spec, seg.input_bytes * b)
+        + spec.compute_time(seg.macs * b)
+        + usb::transfer_time(spec, seg.streamed_bytes * b)
+        + usb::transfer_time(spec, seg.output_bytes * b)
+}
+
+fn stage_timing(seg: &Segment, spec: &DeviceSpec, batch: usize) -> StageTiming {
+    let b = batch as u64;
+    StageTiming {
+        hold_s: batch_service_time(seg, spec, batch),
+        host_s: spec.host_overhead_s,
+        input_s: usb::transfer_time(spec, seg.input_bytes * b),
+        compute_s: spec.compute_time(seg.macs * b),
+        stream_s: usb::transfer_time(spec, seg.streamed_bytes * b),
+        output_s: usb::transfer_time(spec, seg.output_bytes * b),
+    }
+}
+
+/// Borrowed form of [`Workload`]: what the engine actually reads. Lets
+/// hot callers ([`crate::exec::simulate`]) run without cloning the
+/// pipeline.
+#[derive(Debug, Clone, Copy)]
+struct WorkloadView<'a> {
+    pipeline: &'a CompiledPipeline,
+    arrivals: Arrivals,
+    requests: usize,
+    batch: usize,
+    warmup: usize,
+}
+
+impl<'a> WorkloadView<'a> {
+    fn of(wl: &'a Workload) -> Self {
+        WorkloadView {
+            pipeline: &wl.pipeline,
+            arrivals: wl.arrivals,
+            requests: wl.requests,
+            batch: wl.batch,
+            warmup: wl.warmup,
+        }
+    }
+
+    fn stages(&self) -> usize {
+        self.pipeline.segments.len()
+    }
+
+    fn inferences(&self) -> usize {
+        self.requests * self.batch
+    }
+}
+
+/// Which transfer of a stage a bus hold carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusPhase {
+    Input,
+    Stream,
+    Output,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// Request `r` of tenant `w` enters the system.
+    Arrive { w: usize, r: usize },
+    /// The whole uncontended stage hold elapsed.
+    StageDone { w: usize, r: usize, k: usize },
+    /// Host dispatch elapsed (contended path).
+    HostDone { w: usize, r: usize, k: usize },
+    /// Compute elapsed (contended path).
+    ComputeDone { w: usize, r: usize, k: usize },
+    /// A bus hold finished (contended path).
+    BusDone {
+        w: usize,
+        r: usize,
+        k: usize,
+        phase: BusPhase,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    t: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.t.to_bits() == other.t.to_bits() && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.t
+            .total_cmp(&other.t)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A single-server FIFO resource (one Edge TPU position).
+#[derive(Debug, Default)]
+struct Device {
+    busy: bool,
+    queue: VecDeque<(usize, usize)>,
+    /// Open hold for trace recording: `(tenant, request, stage, start)`.
+    open: Option<(usize, usize, usize, f64)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BusRequest {
+    w: usize,
+    r: usize,
+    k: usize,
+    phase: BusPhase,
+    duration: f64,
+}
+
+#[derive(Debug, Default)]
+struct Bus {
+    busy: bool,
+    queue: VecDeque<BusRequest>,
+    open: Option<(usize, usize, usize, f64)>,
+    busy_s: f64,
+}
+
+/// Per-tenant mutable simulation state.
+struct Tenant {
+    timings: Vec<StageTiming>,
+    arrivals_at: Vec<f64>,
+    completed_at: Vec<f64>,
+    done: usize,
+    rng: Option<StdRng>,
+    next_arrival_s: f64,
+}
+
+struct Engine<'a> {
+    workloads: &'a [WorkloadView<'a>],
+    cfg: SimConfig,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    devices: Vec<Device>,
+    bus: Bus,
+    tenants: Vec<Tenant>,
+    trace: Vec<TraceSpan>,
+    events: u64,
+    now: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(workloads: &'a [WorkloadView<'a>], spec: &DeviceSpec, cfg: SimConfig) -> Self {
+        let chain = workloads
+            .iter()
+            .map(WorkloadView::stages)
+            .max()
+            .unwrap_or(0);
+        let tenants = workloads
+            .iter()
+            .map(|wl| Tenant {
+                timings: wl
+                    .pipeline
+                    .segments
+                    .iter()
+                    .map(|seg| stage_timing(seg, spec, wl.batch))
+                    .collect(),
+                arrivals_at: vec![0.0; wl.requests],
+                completed_at: vec![0.0; wl.requests],
+                done: 0,
+                rng: match wl.arrivals {
+                    Arrivals::Poisson { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+                    _ => None,
+                },
+                next_arrival_s: 0.0,
+            })
+            .collect();
+        Engine {
+            workloads,
+            cfg,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            devices: (0..chain).map(|_| Device::default()).collect(),
+            bus: Bus::default(),
+            tenants,
+            trace: Vec::new(),
+            events: 0,
+            now: 0.0,
+        }
+    }
+
+    fn push(&mut self, t: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { t, seq, kind }));
+    }
+
+    /// Next inter-arrival gap for tenant `w` (open-loop modes only).
+    fn arrival_time(&mut self, w: usize, r: usize) -> f64 {
+        match self.workloads[w].arrivals {
+            Arrivals::ClosedLoop => 0.0,
+            Arrivals::Periodic { rate } => r as f64 / rate,
+            Arrivals::Poisson { rate, .. } => {
+                // every request, including the first, samples its gap:
+                // the realized stream is a genuine Poisson process
+                let rng = self.tenants[w].rng.as_mut().expect("poisson rng");
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let gap = -(1.0 - u).ln() / rate;
+                self.tenants[w].next_arrival_s += gap;
+                self.tenants[w].next_arrival_s
+            }
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        // Seed one pending arrival per tenant; each Arrive schedules the
+        // next, so the heap never holds more than one future arrival per
+        // tenant.
+        for w in 0..self.workloads.len() {
+            let t0 = self.arrival_time(w, 0);
+            self.push(t0, EventKind::Arrive { w, r: 0 });
+        }
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            self.now = ev.t;
+            self.events += 1;
+            match ev.kind {
+                EventKind::Arrive { w, r } => {
+                    self.tenants[w].arrivals_at[r] = ev.t;
+                    if r + 1 < self.workloads[w].requests {
+                        let tn = self.arrival_time(w, r + 1);
+                        self.push(tn, EventKind::Arrive { w, r: r + 1 });
+                    }
+                    self.join_device(w, r, 0, ev.t);
+                }
+                EventKind::StageDone { w, r, k } => self.finish_stage(w, r, k, ev.t),
+                EventKind::HostDone { w, r, k } => {
+                    let d = self.tenants[w].timings[k].input_s;
+                    self.request_bus(
+                        BusRequest {
+                            w,
+                            r,
+                            k,
+                            phase: BusPhase::Input,
+                            duration: d,
+                        },
+                        ev.t,
+                    );
+                }
+                EventKind::ComputeDone { w, r, k } => {
+                    let d = self.tenants[w].timings[k].stream_s;
+                    self.request_bus(
+                        BusRequest {
+                            w,
+                            r,
+                            k,
+                            phase: BusPhase::Stream,
+                            duration: d,
+                        },
+                        ev.t,
+                    );
+                }
+                EventKind::BusDone { w, r, k, phase } => {
+                    self.release_bus(ev.t);
+                    self.after_bus_phase(w, r, k, phase, ev.t);
+                }
+            }
+        }
+        self.finalize()
+    }
+
+    fn join_device(&mut self, w: usize, r: usize, k: usize, t: f64) {
+        if self.devices[k].busy {
+            self.devices[k].queue.push_back((w, r));
+        } else {
+            self.seize_device(w, r, k, t);
+        }
+    }
+
+    fn seize_device(&mut self, w: usize, r: usize, k: usize, t: f64) {
+        self.devices[k].busy = true;
+        if self.cfg.record_trace {
+            self.devices[k].open = Some((w, r, k, t));
+        }
+        let timing = self.tenants[w].timings[k];
+        if self.cfg.contended_bus {
+            self.push(t + timing.host_s, EventKind::HostDone { w, r, k });
+        } else {
+            self.push(t + timing.hold_s, EventKind::StageDone { w, r, k });
+        }
+    }
+
+    /// Zero-length transfers skip the bus entirely (no transfer is
+    /// issued, matching `usb::transfer_time(_, 0) == 0`).
+    fn request_bus(&mut self, req: BusRequest, t: f64) {
+        if req.duration == 0.0 {
+            self.after_bus_phase(req.w, req.r, req.k, req.phase, t);
+        } else if self.bus.busy {
+            self.bus.queue.push_back(req);
+        } else {
+            self.grant_bus(req, t);
+        }
+    }
+
+    fn grant_bus(&mut self, req: BusRequest, t: f64) {
+        self.bus.busy = true;
+        self.bus.busy_s += req.duration;
+        if self.cfg.record_trace {
+            self.bus.open = Some((req.w, req.r, req.k, t));
+        }
+        self.push(
+            t + req.duration,
+            EventKind::BusDone {
+                w: req.w,
+                r: req.r,
+                k: req.k,
+                phase: req.phase,
+            },
+        );
+    }
+
+    fn release_bus(&mut self, t: f64) {
+        self.bus.busy = false;
+        if let Some((w, r, k, start)) = self.bus.open.take() {
+            self.trace.push(TraceSpan {
+                resource: ResourceId::Bus,
+                tenant: w,
+                request: r,
+                stage: k,
+                start_s: start,
+                end_s: t,
+            });
+        }
+        if let Some(next) = self.bus.queue.pop_front() {
+            self.grant_bus(next, t);
+        }
+    }
+
+    fn after_bus_phase(&mut self, w: usize, r: usize, k: usize, phase: BusPhase, t: f64) {
+        match phase {
+            BusPhase::Input => {
+                let d = self.tenants[w].timings[k].compute_s;
+                self.push(t + d, EventKind::ComputeDone { w, r, k });
+            }
+            BusPhase::Stream => {
+                let d = self.tenants[w].timings[k].output_s;
+                self.request_bus(
+                    BusRequest {
+                        w,
+                        r,
+                        k,
+                        phase: BusPhase::Output,
+                        duration: d,
+                    },
+                    t,
+                );
+            }
+            BusPhase::Output => self.finish_stage(w, r, k, t),
+        }
+    }
+
+    fn finish_stage(&mut self, w: usize, r: usize, k: usize, t: f64) {
+        self.devices[k].busy = false;
+        if let Some((tw, tr, tk, start)) = self.devices[k].open.take() {
+            self.trace.push(TraceSpan {
+                resource: ResourceId::Device(k),
+                tenant: tw,
+                request: tr,
+                stage: tk,
+                start_s: start,
+                end_s: t,
+            });
+        }
+        if let Some((nw, nr)) = self.devices[k].queue.pop_front() {
+            self.seize_device(nw, nr, k, t);
+        }
+        if k + 1 < self.workloads[w].stages() {
+            self.join_device(w, r, k + 1, t);
+        } else {
+            self.tenants[w].completed_at[r] = t;
+            self.tenants[w].done += 1;
+        }
+    }
+
+    fn finalize(self) -> SimReport {
+        let mut reports = Vec::with_capacity(self.workloads.len());
+        for (wl, tenant) in self.workloads.iter().zip(&self.tenants) {
+            debug_assert_eq!(tenant.done, wl.requests, "every request completes");
+            let n = wl.requests;
+            let total_s = tenant.completed_at[n - 1];
+            let first_latency_s = tenant.completed_at[0] - tenant.arrivals_at[0];
+            let window_start = if wl.warmup == 0 {
+                0.0
+            } else {
+                tenant.completed_at[wl.warmup - 1]
+            };
+            let measured = n - wl.warmup;
+            let measured_inferences = measured * wl.batch;
+            let window_s = total_s - window_start;
+            let throughput_ips = if window_s > 0.0 {
+                measured_inferences as f64 / window_s
+            } else {
+                f64::INFINITY
+            };
+            let mut lat_sum = 0.0;
+            let mut lat_max = 0.0f64;
+            for r in wl.warmup..n {
+                let lat = tenant.completed_at[r] - tenant.arrivals_at[r];
+                lat_sum += lat;
+                lat_max = lat_max.max(lat);
+            }
+            reports.push(TenantReport {
+                requests: n,
+                inferences: wl.inferences(),
+                measured_inferences,
+                total_s,
+                first_latency_s,
+                mean_latency_s: lat_sum / measured as f64,
+                max_latency_s: lat_max,
+                throughput_ips,
+            });
+        }
+        SimReport {
+            tenants: reports,
+            makespan_s: self.now,
+            bus_busy_s: self.bus.busy_s,
+            events: self.events,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Runs the discrete-event simulation of `workloads` co-resident on one
+/// device chain (stage `k` of every pipeline runs on device `k`) under
+/// `cfg`.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if any workload is degenerate (zero requests,
+/// zero batch, empty pipeline, bad rate, warm-up swallowing the whole
+/// stream) or if no workloads are supplied. Nothing is simulated on
+/// error.
+pub fn run(
+    workloads: &[Workload],
+    spec: &DeviceSpec,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let views: Vec<WorkloadView<'_>> = workloads.iter().map(WorkloadView::of).collect();
+    run_views(&views, spec, cfg)
+}
+
+/// Clone-free entry point for single-tenant closed-loop streams (the
+/// `exec::simulate` hot path).
+pub(crate) fn run_closed_loop(
+    pipeline: &CompiledPipeline,
+    spec: &DeviceSpec,
+    requests: usize,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    run_views(
+        &[WorkloadView {
+            pipeline,
+            arrivals: Arrivals::ClosedLoop,
+            requests,
+            batch: 1,
+            warmup: 0,
+        }],
+        spec,
+        cfg,
+    )
+}
+
+fn run_views(
+    workloads: &[WorkloadView<'_>],
+    spec: &DeviceSpec,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    if workloads.is_empty() {
+        return Err(SimError::NoWorkloads);
+    }
+    for wl in workloads {
+        if wl.requests == 0 {
+            return Err(SimError::NoRequests);
+        }
+        if wl.batch == 0 {
+            return Err(SimError::ZeroBatch);
+        }
+        if wl.pipeline.segments.is_empty() {
+            return Err(SimError::EmptyPipeline);
+        }
+        if wl.warmup >= wl.requests {
+            return Err(SimError::WarmupTooLarge {
+                warmup: wl.warmup,
+                requests: wl.requests,
+            });
+        }
+        match wl.arrivals {
+            Arrivals::Periodic { rate } | Arrivals::Poisson { rate, .. } => {
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err(SimError::InvalidRate { rate });
+                }
+            }
+            Arrivals::ClosedLoop => {}
+        }
+    }
+    Ok(Engine::new(workloads, spec, *cfg).run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use respect_graph::models;
+    use respect_sched::{balanced::ParamBalanced, Scheduler};
+
+    fn pipeline(stages: usize) -> (CompiledPipeline, DeviceSpec) {
+        let dag = models::resnet50();
+        let spec = DeviceSpec::coral();
+        let s = ParamBalanced::new().schedule(&dag, stages).unwrap();
+        (compile::compile(&dag, &s, &spec).unwrap(), spec)
+    }
+
+    #[test]
+    fn rejects_degenerate_workloads() {
+        let (p, spec) = pipeline(2);
+        let cfg = SimConfig::uncontended();
+        assert_eq!(run(&[], &spec, &cfg), Err(SimError::NoWorkloads));
+        let zero = Workload::closed_loop(p.clone(), 0);
+        assert_eq!(run(&[zero], &spec, &cfg), Err(SimError::NoRequests));
+        let empty = Workload::closed_loop(
+            CompiledPipeline {
+                segments: vec![],
+                schedule: p.schedule.clone(),
+            },
+            5,
+        );
+        assert_eq!(run(&[empty], &spec, &cfg), Err(SimError::EmptyPipeline));
+        let batchless = Workload::closed_loop(p.clone(), 5).with_batch(0);
+        assert_eq!(run(&[batchless], &spec, &cfg), Err(SimError::ZeroBatch));
+        let warm = Workload::closed_loop(p.clone(), 5).with_warmup(5);
+        assert_eq!(
+            run(&[warm], &spec, &cfg),
+            Err(SimError::WarmupTooLarge {
+                warmup: 5,
+                requests: 5
+            })
+        );
+        let bad_rate = Workload::new(p, 5).with_arrivals(Arrivals::Periodic { rate: 0.0 });
+        assert_eq!(
+            run(&[bad_rate], &spec, &cfg),
+            Err(SimError::InvalidRate { rate: 0.0 })
+        );
+    }
+
+    #[test]
+    fn contended_solo_is_no_faster_than_uncontended() {
+        let (p, spec) = pipeline(4);
+        let wl = Workload::closed_loop(p, 300);
+        let un = run(std::slice::from_ref(&wl), &spec, &SimConfig::uncontended()).unwrap();
+        let co = run(&[wl], &spec, &SimConfig::contended()).unwrap();
+        assert!(co.tenants[0].throughput_ips <= un.tenants[0].throughput_ips + 1e-9);
+        assert!(co.bus_busy_s > 0.0, "contended run uses the bus");
+        assert_eq!(un.bus_busy_s, 0.0, "uncontended run never touches it");
+    }
+
+    #[test]
+    fn batching_amortizes_fixed_overheads() {
+        // warm-up windows exclude the pipeline-fill transient (which is
+        // batch-size-proportional) so the comparison is steady state vs
+        // steady state
+        let (p, spec) = pipeline(4);
+        let n = 1024;
+        let plain = Workload::closed_loop(p.clone(), n).with_warmup(n / 8);
+        let batched = Workload::closed_loop(p, n / 8)
+            .with_batch(8)
+            .with_warmup(n / 64);
+        let cfg = SimConfig::uncontended();
+        let r1 = run(&[plain], &spec, &cfg).unwrap();
+        let r8 = run(&[batched], &spec, &cfg).unwrap();
+        assert_eq!(r8.tenants[0].inferences, r1.tenants[0].inferences);
+        assert!(
+            r8.tenants[0].throughput_ips > r1.tenants[0].throughput_ips,
+            "batch 8 {} <= batch 1 {}",
+            r8.tenants[0].throughput_ips,
+            r1.tenants[0].throughput_ips
+        );
+    }
+
+    #[test]
+    fn slow_open_loop_arrivals_leave_the_pipeline_idle() {
+        let (p, spec) = pipeline(4);
+        // closed-loop capacity first
+        let closed = run(
+            &[Workload::closed_loop(p.clone(), 200)],
+            &spec,
+            &SimConfig::uncontended(),
+        )
+        .unwrap();
+        let capacity = closed.tenants[0].throughput_ips;
+        // feed at a tenth of capacity: throughput tracks the offered rate
+        // and latency collapses to the uncontended service sum
+        let rate = capacity / 10.0;
+        let open = Workload::new(p, 200).with_arrivals(Arrivals::Periodic { rate });
+        let r = run(&[open], &spec, &SimConfig::uncontended()).unwrap();
+        let t = &r.tenants[0];
+        assert!(
+            (t.throughput_ips - rate).abs() / rate < 0.02,
+            "{} vs {rate}",
+            t.throughput_ips
+        );
+        assert!(
+            (t.mean_latency_s - t.first_latency_s).abs() / t.first_latency_s < 1e-6,
+            "no queueing at 10% load"
+        );
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_per_seed() {
+        let (p, spec) = pipeline(4);
+        // feed below capacity so arrival jitter shows through (a
+        // saturated system's completions depend only on service times)
+        let wl = |seed| {
+            Workload::new(p.clone(), 100).with_arrivals(Arrivals::Poisson { rate: 150.0, seed })
+        };
+        let cfg = SimConfig::contended();
+        let a = run(&[wl(7)], &spec, &cfg).unwrap();
+        let b = run(&[wl(7)], &spec, &cfg).unwrap();
+        let c = run(&[wl(8)], &spec, &cfg).unwrap();
+        assert_eq!(a, b, "same seed, same report");
+        assert_ne!(
+            a.tenants[0].total_s, c.tenants[0].total_s,
+            "different seed, different stream"
+        );
+    }
+
+    #[test]
+    fn warmup_window_excludes_cold_start() {
+        let (p, spec) = pipeline(6);
+        let cold = run(
+            &[Workload::closed_loop(p.clone(), 400)],
+            &spec,
+            &SimConfig::uncontended(),
+        )
+        .unwrap();
+        let warm = run(
+            &[Workload::closed_loop(p, 400).with_warmup(50)],
+            &spec,
+            &SimConfig::uncontended(),
+        )
+        .unwrap();
+        // excluding the pipeline-fill transient can only raise measured
+        // throughput
+        assert!(warm.tenants[0].throughput_ips >= cold.tenants[0].throughput_ips);
+        assert_eq!(warm.tenants[0].measured_inferences, 350);
+    }
+
+    #[test]
+    fn trace_spans_cover_devices_and_bus() {
+        let (p, spec) = pipeline(3);
+        let wl = Workload::closed_loop(p, 20);
+        let r = run(&[wl], &spec, &SimConfig::contended().with_trace()).unwrap();
+        let device_spans = r
+            .trace
+            .iter()
+            .filter(|s| matches!(s.resource, ResourceId::Device(_)))
+            .count();
+        assert_eq!(device_spans, 20 * 3, "one device hold per request-stage");
+        assert!(r.trace.iter().any(|s| s.resource == ResourceId::Bus));
+        for s in &r.trace {
+            assert!(s.end_s >= s.start_s);
+        }
+    }
+
+    #[test]
+    fn two_tenants_complete_all_requests() {
+        let (p4, spec) = pipeline(4);
+        let (p2, _) = pipeline(2);
+        let r = run(
+            &[
+                Workload::closed_loop(p4, 50),
+                Workload::closed_loop(p2, 30).with_batch(2),
+            ],
+            &spec,
+            &SimConfig::contended(),
+        )
+        .unwrap();
+        assert_eq!(r.tenants[0].inferences, 50);
+        assert_eq!(r.tenants[1].inferences, 60);
+        assert!(r.makespan_s >= r.tenants[0].total_s.max(r.tenants[1].total_s));
+    }
+}

@@ -69,6 +69,43 @@ mod tests {
         let _ = chunked_transfer_time(&spec, 100, 0);
     }
 
+    #[test]
+    fn zero_chunks_without_payload_is_free() {
+        // the chunk count is irrelevant when no transfer is issued
+        let spec = DeviceSpec::coral();
+        assert_eq!(chunked_transfer_time(&spec, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn one_chunk_equals_plain_transfer() {
+        let spec = DeviceSpec::coral();
+        for bytes in [1u64, 4096, 1 << 20] {
+            assert_eq!(
+                chunked_transfer_time(&spec, bytes, 1),
+                transfer_time(&spec, bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn more_chunks_than_bytes_still_pay_per_chunk_overhead() {
+        // parameter streaming may issue many tiny weight blocks; each
+        // chunk pays the fixed submission overhead even when the payload
+        // is smaller than the chunk count
+        let spec = DeviceSpec::coral();
+        let t = chunked_transfer_time(&spec, 3, 10);
+        let expected = 10.0 * spec.usb_overhead_s + 3.0 / spec.usb_bytes_per_sec;
+        assert!((t - expected).abs() < 1e-18);
+        assert!(t > chunked_transfer_time(&spec, 3, 3));
+    }
+
+    #[test]
+    fn single_byte_transfer_is_overhead_plus_one_byte() {
+        let spec = DeviceSpec::coral();
+        let t = transfer_time(&spec, 1);
+        assert!((t - (spec.usb_overhead_s + 1.0 / spec.usb_bytes_per_sec)).abs() < 1e-18);
+    }
+
     proptest! {
         #[test]
         fn transfer_time_is_monotone(a in 0u64..1 << 30, b in 0u64..1 << 30) {

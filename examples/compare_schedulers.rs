@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dt = t0.elapsed().as_secs_f64();
         let obj = model.objective(&dag, &schedule);
         let pipeline = compile::compile(&dag, &schedule, &spec)?;
-        let ips = exec::simulate(&pipeline, &spec, 1_000).throughput_ips;
+        let ips = exec::simulate(&pipeline, &spec, 1_000)?.throughput_ips;
         println!("{:<28} {:>12.6} {:>12.1} {:>12.4}", s.name(), obj, ips, dt);
     }
     println!("\nlower objective should mean higher simulated throughput, up to");

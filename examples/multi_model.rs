@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         let pipeline = compile::compile(&fused, &schedule, &spec)?;
-        let report = exec::simulate(&pipeline, &spec, 1_000);
+        let report = exec::simulate(&pipeline, &spec, 1_000)?;
         println!(
             "  {label:<22} {:>8.1} inf/s (both models per inference)",
             report.throughput_ips

@@ -14,7 +14,9 @@ use respect::sched::Scheduler as _;
 use respect::tpu::{compile, device::DeviceSpec, energy, exec, EdgeTpuCompiler};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "ResNet152".into());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ResNet152".into());
     let (name, dag) = models::fig5()
         .into_iter()
         .find(|(n, _)| n.eq_ignore_ascii_case(&wanted))
@@ -30,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = DeviceSpec::coral();
     let mut cfg = TrainConfig::smoke_test();
     cfg.dataset.graphs = 16;
-    let respect = RespectScheduler::new(train_policy(&cfg)?)
-        .with_cost_model(spec.cost_model());
+    let respect = RespectScheduler::new(train_policy(&cfg)?).with_cost_model(spec.cost_model());
     let compiler = EdgeTpuCompiler::fast(spec);
 
     for stages in [4usize, 5, 6] {
@@ -41,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("RESPECT", respect.schedule(&dag, stages)?),
         ] {
             let pipeline = compile::compile(&dag, &schedule, &spec)?;
-            let report = exec::simulate(&pipeline, &spec, 1_000);
+            let report = exec::simulate(&pipeline, &spec, 1_000)?;
             let joules = energy::estimate(&pipeline, &spec, &report);
             let spilled: u64 = pipeline.segments.iter().map(|s| s.streamed_bytes).sum();
             println!(

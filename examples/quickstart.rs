@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    swap in `TrainConfig::smoke_test()` for a seconds-scale demo.
     let mut config = TrainConfig::smoke_test();
     config.dataset.graphs = 16;
-    println!("training policy on {} synthetic graphs...", config.dataset.graphs);
+    println!(
+        "training policy on {} synthetic graphs...",
+        config.dataset.graphs
+    );
     let policy = train_policy(&config)?;
 
     // 2. Schedule a real ImageNet model the policy has never seen.
@@ -41,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. Simulate 1 000 pipelined inferences (the paper's Fig. 4 metric).
-    let report = exec::simulate(&pipeline, &spec, 1_000);
+    let report = exec::simulate(&pipeline, &spec, 1_000)?;
     println!(
         "\n1000 inferences: {:.3} s total, {:.1} inf/s, bottleneck stage {}",
         report.total_s, report.throughput_ips, report.bottleneck_stage

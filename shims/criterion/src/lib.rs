@@ -105,7 +105,10 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     };
     f(&mut b);
     let mean = b.elapsed.as_secs_f64() / iters as f64;
-    println!("bench: {label:<50} {:>12.3} µs/iter (n={iters})", mean * 1e6);
+    println!(
+        "bench: {label:<50} {:>12.3} µs/iter (n={iters})",
+        mean * 1e6
+    );
 }
 
 /// Top-level harness handle; the `criterion_main!`-generated `main`
@@ -128,11 +131,7 @@ impl Criterion {
         id: impl Into<BenchmarkId>,
         mut f: F,
     ) -> &mut Self {
-        run_one(
-            &id.into().render(None),
-            self.default_sample_size,
-            &mut f,
-        );
+        run_one(&id.into().render(None), self.default_sample_size, &mut f);
         self
     }
 
@@ -164,7 +163,11 @@ impl BenchmarkGroup<'_> {
         id: impl Into<BenchmarkId>,
         mut f: F,
     ) -> &mut Self {
-        run_one(&id.into().render(Some(&self.name)), self.sample_size, &mut f);
+        run_one(
+            &id.into().render(Some(&self.name)),
+            self.sample_size,
+            &mut f,
+        );
         self
     }
 

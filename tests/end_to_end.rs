@@ -22,7 +22,7 @@ fn train_schedule_simulate_roundtrip() {
         let schedule = scheduler.schedule(&dag, stages).unwrap();
         assert!(schedule.is_valid(&dag));
         let pipeline = compile::compile(&dag, &schedule, &spec).unwrap();
-        let report = exec::simulate(&pipeline, &spec, 100);
+        let report = exec::simulate(&pipeline, &spec, 100).unwrap();
         assert!(report.throughput_ips > 0.0);
         let joules = energy::estimate(&pipeline, &spec, &report);
         assert!(joules.per_inference_j > 0.0);
