@@ -1,0 +1,75 @@
+//! Serving-runtime benchmarks: engine cost of the online layers
+//! (dynamic batching, admission control, live re-partitioning) against
+//! the raw simulator path, plus the log-bucket histogram hot path.
+//!
+//! Run with `RESPECT_BENCH_BUDGET_MS=20` for a CI smoke pass.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use respect_graph::models;
+use respect_sched::{balanced::OpBalanced, Scheduler};
+use respect_serve::{
+    serve, AdmissionPolicy, BatchPolicy, DriftPolicy, LatencyHistogram, Repartitioner, ServeConfig,
+    ServeTenant,
+};
+use respect_tpu::sim::Arrivals;
+use respect_tpu::{compile, device::DeviceSpec, CompiledPipeline};
+
+const REQUESTS: usize = 1_000;
+
+fn deployment(spec: &DeviceSpec) -> (respect_graph::Dag, CompiledPipeline) {
+    let dag = models::densenet121();
+    let s = OpBalanced::new().schedule(&dag, 6).unwrap();
+    let p = compile::compile(&dag, &s, spec).unwrap();
+    (dag, p)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let spec = DeviceSpec::coral();
+    let (dag, pipeline) = deployment(&spec);
+    let cfg = ServeConfig::contended();
+    let arrivals = Arrivals::Periodic { rate: 160.0 };
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(20);
+
+    group.bench_function(format!("static/{REQUESTS}"), |b| {
+        b.iter(|| {
+            let t = ServeTenant::new(pipeline.clone(), REQUESTS).with_arrivals(arrivals);
+            black_box(serve(&[t], &spec, &cfg).unwrap().tenants[0].throughput_ips)
+        })
+    });
+    group.bench_function(format!("batched/{REQUESTS}"), |b| {
+        b.iter(|| {
+            let t = ServeTenant::new(pipeline.clone(), REQUESTS)
+                .with_arrivals(arrivals)
+                .with_batcher(BatchPolicy::new(8, 5e-3));
+            black_box(serve(&[t], &spec, &cfg).unwrap().tenants[0].throughput_ips)
+        })
+    });
+    group.bench_function(format!("full-runtime/{REQUESTS}"), |b| {
+        b.iter(|| {
+            let t = ServeTenant::new(pipeline.clone(), REQUESTS)
+                .with_arrivals(arrivals)
+                .with_batcher(BatchPolicy::new(8, 5e-3))
+                .with_admission(AdmissionPolicy::SloDelay { target_s: 0.05 })
+                .with_repartitioner(
+                    Repartitioner::new(dag.clone(), spec.cost_model())
+                        .with_policy(DriftPolicy::new().with_window_jobs(24)),
+                );
+            black_box(serve(&[t], &spec, &cfg).unwrap().tenants[0].p99_s())
+        })
+    });
+    group.bench_function("hist/record+quantile/10k", |b| {
+        b.iter(|| {
+            let mut h = LatencyHistogram::new();
+            for i in 0..10_000u64 {
+                h.record(1e-4 + (i % 977) as f64 * 1e-5);
+            }
+            black_box(h.p99())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -6,11 +6,12 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig3`, `fig4`, `fig5`, `ablation`, `sim`,
-//! `all`. `--quick` restricts to three models, two stage counts, and a
-//! seconds-scale policy; omit it for the full 10/12-model sweep. `sim`
-//! sweeps the contended discrete-event simulator over arrival rates and
-//! tenant counts (beyond the paper: the testbed scenarios its hardware
-//! ran but its evaluation never isolated).
+//! `serve`, `all`. `--quick` restricts to three models, two stage
+//! counts, and a seconds-scale policy; omit it for the full
+//! 10/12-model sweep. `sim` sweeps the contended discrete-event
+//! simulator over arrival rates and tenant counts; `serve` sweeps the
+//! SLO-aware serving runtime over load × policy bundle (beyond the
+//! paper: the online half of a production deployment).
 
 use std::time::Duration;
 
@@ -38,6 +39,7 @@ fn main() {
         "fig5" => fig5(quick, exact_budget),
         "ablation" => ablation(quick),
         "sim" => sim_sweep(quick),
+        "serve" => serve_sweep(quick),
         "all" => {
             table1();
             fig3(quick, exact_budget);
@@ -45,9 +47,12 @@ fn main() {
             fig5(quick, exact_budget);
             ablation(quick);
             sim_sweep(quick);
+            serve_sweep(quick);
         }
         other => {
-            eprintln!("unknown experiment {other:?}; use table1|fig3|fig4|fig5|ablation|sim|all");
+            eprintln!(
+                "unknown experiment {other:?}; use table1|fig3|fig4|fig5|ablation|sim|serve|all"
+            );
             std::process::exit(2);
         }
     }
@@ -175,6 +180,42 @@ fn sim_sweep(quick: bool) {
     }
     println!("reading: 'degr %' is aggregate loss vs ideal scaling of the solo capacity");
     println!("(closed rows: Tx solo; open-loop rows: the offered rate)");
+}
+
+fn serve_sweep(quick: bool) {
+    println!("\n== Serving sweep: load x policy on the SLO-aware runtime ==========");
+    println!(
+        "{:<14} {:>5} {:>7} {:>6} {:>6} {:>6} {:>8} {:>9} {:>9} {:>10} {:>6}",
+        "model",
+        "load",
+        "policy",
+        "admit",
+        "shed",
+        "batch",
+        "thr ips",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms",
+        "swaps"
+    );
+    for r in experiments::serve_sweep(quick) {
+        println!(
+            "{:<14} {:>4.0}% {:>7} {:>6} {:>6} {:>6.2} {:>8.1} {:>9.2} {:>9.2} {:>10.2} {:>6}",
+            r.name,
+            r.load * 100.0,
+            r.policy,
+            r.admitted,
+            r.shed,
+            r.mean_job_requests,
+            r.throughput_ips,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.swaps
+        );
+    }
+    println!("reading: 'static' is the frozen compiled deployment; 'batch' adds the");
+    println!("dynamic batcher; 'serve' adds SLO admission + live re-partitioning");
 }
 
 fn ablation(quick: bool) {

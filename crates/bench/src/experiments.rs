@@ -4,7 +4,11 @@
 use std::time::Duration;
 
 use respect_graph::models;
+use respect_sched::balanced::OpBalanced;
 use respect_sched::{order, pack, Scheduler};
+use respect_serve::{
+    serve, AdmissionPolicy, BatchPolicy, DriftPolicy, Repartitioner, ServeConfig, ServeTenant,
+};
 use respect_tpu::compile;
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::sim::{self, Arrivals, SimConfig, Workload};
@@ -335,6 +339,137 @@ pub fn sim_sweep(quick: bool) -> Vec<SimSweepRow> {
                     achieved_ips: achieved,
                     mean_latency_ms,
                     degradation_pct: (1.0 - achieved / ideal) * 100.0,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One point of the serving sweep: a deployed model under an offered
+/// load and a serving-policy bundle, on the contended discrete-event
+/// serving runtime.
+#[derive(Debug, Clone)]
+pub struct ServeSweepRow {
+    /// Model name.
+    pub name: &'static str,
+    /// Pipeline stages (devices in the chain).
+    pub stages: usize,
+    /// Offered load as a fraction of the deployment's static
+    /// closed-loop capacity.
+    pub load: f64,
+    /// Serving-policy bundle (`static`, `batch`, `serve`).
+    pub policy: &'static str,
+    /// Requests offered.
+    pub offered: usize,
+    /// Requests admitted.
+    pub admitted: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Mean requests per dynamic batch.
+    pub mean_job_requests: f64,
+    /// Measured-window throughput, inferences per second.
+    pub throughput_ips: f64,
+    /// Median sojourn time, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile sojourn time, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile sojourn time, milliseconds.
+    pub p999_ms: f64,
+    /// Pipeline hot-swaps the re-partitioner applied.
+    pub swaps: usize,
+}
+
+/// Sweeps the serving runtime over offered load × policy bundle for a
+/// model suite deployed with the op-balancing partition (the weakest
+/// heuristic — the headroom the online re-partitioner recovers).
+///
+/// The three bundles isolate the serving mechanisms:
+///
+/// * `static` — no batching, open admission, no re-partitioning (the
+///   raw simulator path);
+/// * `batch` — dynamic batching only;
+/// * `serve` — batching + SLO admission + live re-partitioning.
+///
+/// Arrivals are deterministic (`Periodic`), so every number derives
+/// from pure IEEE-754 arithmetic and is pinned bitwise by the
+/// `serve_golden` regression test.
+pub fn serve_sweep(quick: bool) -> Vec<ServeSweepRow> {
+    let spec = DeviceSpec::coral();
+    let stages = 6;
+    let requests = if quick { 800 } else { 2_000 };
+    let suite: Vec<(&'static str, respect_graph::Dag)> = if quick {
+        vec![("DenseNet121", models::densenet121())]
+    } else {
+        vec![
+            ("DenseNet121", models::densenet121()),
+            ("Xception", models::xception()),
+            ("ResNet50", models::resnet50()),
+        ]
+    };
+    let cfg = ServeConfig::contended();
+    let mut rows = Vec::new();
+    for (name, dag) in suite {
+        let schedule = OpBalanced::new().schedule(&dag, stages).expect("valid");
+        let pipeline = compile::compile(&dag, &schedule, &spec).expect("compiles");
+        let closed = ServeTenant::new(pipeline.clone(), requests / 2).with_warmup(requests / 20);
+        let static_cap =
+            serve(&[closed], &spec, &cfg).expect("capacity run").tenants[0].throughput_ips;
+        let drain_target_s = 0.050;
+        for &load in &[0.7, 1.0, 2.0] {
+            let arrivals = Arrivals::Periodic {
+                rate: load * static_cap,
+            };
+            let bundles: [(&'static str, ServeTenant); 3] = [
+                (
+                    "static",
+                    ServeTenant::new(pipeline.clone(), requests)
+                        .with_arrivals(arrivals)
+                        .with_warmup(requests / 10),
+                ),
+                (
+                    "batch",
+                    ServeTenant::new(pipeline.clone(), requests)
+                        .with_arrivals(arrivals)
+                        .with_warmup(requests / 10)
+                        .with_batcher(BatchPolicy::new(8, 5e-3)),
+                ),
+                (
+                    "serve",
+                    ServeTenant::new(pipeline.clone(), requests)
+                        .with_arrivals(arrivals)
+                        .with_warmup(requests / 10)
+                        .with_batcher(BatchPolicy::new(8, 5e-3))
+                        .with_admission(AdmissionPolicy::SloDelay {
+                            target_s: drain_target_s,
+                        })
+                        .with_repartitioner(
+                            Repartitioner::new(dag.clone(), spec.cost_model()).with_policy(
+                                DriftPolicy::new()
+                                    .with_window_jobs(24)
+                                    .with_threshold(0.08)
+                                    .with_max_swaps(3),
+                            ),
+                        ),
+                ),
+            ];
+            for (policy, tenant) in bundles {
+                let report = serve(&[tenant], &spec, &cfg).expect("sweep run");
+                let t = &report.tenants[0];
+                rows.push(ServeSweepRow {
+                    name,
+                    stages,
+                    load,
+                    policy,
+                    offered: t.offered,
+                    admitted: t.admitted,
+                    shed: t.shed,
+                    mean_job_requests: t.mean_job_requests,
+                    throughput_ips: t.throughput_ips,
+                    p50_ms: t.p50_s() * 1e3,
+                    p99_ms: t.p99_s() * 1e3,
+                    p999_ms: t.p999_s() * 1e3,
+                    swaps: t.swaps.len(),
                 });
             }
         }

@@ -24,6 +24,8 @@
 //!   single-node stage moves, the engine behind the local searches;
 //! * [`hu`], [`force`] — the classic RCS algorithms cited in Sec. II
 //!   (Hu's algorithm, force-directed scheduling);
+//! * [`repartition`] — deterministic local refinement of a *deployed*
+//!   schedule, the hot-swap entry point of the online serving runtime;
 //! * [`repair`] — the paper's post-inference processing;
 //! * [`brute`] — exhaustive optimum for small graphs, used to certify
 //!   [`exact`] in tests.
@@ -56,6 +58,7 @@ pub mod incremental;
 pub mod order;
 pub mod pack;
 pub mod repair;
+pub mod repartition;
 pub mod schedule;
 
 pub use cost::CostModel;

@@ -1,0 +1,1080 @@
+//! The SLO-aware serving runtime: per-tenant queues, a dynamic batcher,
+//! admission control, and live re-partitioning, executed as one
+//! deterministic discrete-event loop over the same resource semantics
+//! as [`respect_tpu::sim`].
+//!
+//! The raw simulator answers "what happens if this exact request stream
+//! runs through this frozen pipeline?". A serving runtime interposes
+//! *online decisions* between arrival and execution:
+//!
+//! 1. **Admission** ([`AdmissionPolicy`]) — a request may be shed at
+//!    arrival when the backlog already implies a blown SLO, so
+//!    saturation degrades into bounded-latency service at lower
+//!    goodput instead of unbounded sojourn growth.
+//! 2. **Dynamic batching** ([`BatchPolicy`]) — admitted requests
+//!    accumulate into a batch that closes when it reaches `max_batch`
+//!    requests or its oldest member has waited `max_delay_s`. A closed
+//!    batch becomes one *job*: payload bytes and MACs scale with the
+//!    carried inferences while the fixed host dispatch and USB
+//!    submission overheads are paid once ([`sim::batch_service_time`]),
+//!    exactly the amortization batching buys on real hardware.
+//! 3. **Live re-partitioning** ([`Repartitioner`]) — measured stage
+//!    utilization is accumulated per window; when it diverges from the
+//!    deployed partition's prediction, the incremental scheduler
+//!    refines the schedule and the runtime hot-swaps the recompiled
+//!    pipeline at a job boundary (in-flight jobs finish on the old
+//!    partition).
+//!
+//! Degenerate configuration (`max_batch = 1`, `max_delay_s = 0`, open
+//! admission, no repartitioner) reproduces [`sim::run`] **bitwise** —
+//! same event times, same report arithmetic — property-tested in
+//! `crates/serve/tests`. Everything is deterministic per seed: events
+//! are ordered by `(time, insertion sequence)` and all queues are FIFO.
+//!
+//! **Sync contract with `respect_tpu::sim`**: the device/bus event
+//! machinery below (event ordering, FIFO seize/release, the four-phase
+//! contended bus walk, zero-length-transfer elision) deliberately
+//! mirrors the raw engine rather than sharing code with it — the two
+//! engines index different job tokens and the raw engine's hot path
+//! must stay allocation-lean. Any change to the timing or contention
+//! semantics in `crates/tpu/src/sim.rs` must be mirrored here; the
+//! bitwise differential property tests in
+//! `crates/serve/tests/properties.rs` exist to catch a missed mirror.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use respect_sched::repartition;
+use respect_tpu::compile::{self, CompiledPipeline};
+use respect_tpu::device::DeviceSpec;
+use respect_tpu::sim::{self, ArrivalSampler, Arrivals, CompletionRecord, SimError};
+use respect_tpu::usb;
+use serde::{Deserialize, Serialize};
+
+use crate::drift::{DriftWindow, Repartitioner};
+use crate::hist::LatencyHistogram;
+
+/// Errors rejected by [`serve`] before any event is simulated.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// No tenants were supplied.
+    NoTenants,
+    /// A tenant requested zero requests.
+    NoRequests,
+    /// A tenant's pipeline has no stages.
+    EmptyPipeline,
+    /// A tenant's per-request batch size is zero.
+    ZeroBatch,
+    /// The warm-up window would swallow every request.
+    WarmupTooLarge {
+        /// Requests excluded from measurement.
+        warmup: usize,
+        /// Requests in the tenant's stream.
+        requests: usize,
+    },
+    /// The arrival process is degenerate (see [`Arrivals::validate`]).
+    Arrivals(SimError),
+    /// The batch policy is degenerate.
+    InvalidBatcher {
+        /// Requests per batch requested.
+        max_batch: usize,
+        /// Batch linger requested, seconds.
+        max_delay_s: f64,
+    },
+    /// The admission policy is degenerate.
+    InvalidAdmission {
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// The repartitioner cannot govern this tenant.
+    InvalidRepartitioner {
+        /// What was wrong.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::NoTenants => write!(f, "serving needs at least one tenant"),
+            ServeError::NoRequests => write!(f, "serve at least one request"),
+            ServeError::EmptyPipeline => write!(f, "pipeline has no stages"),
+            ServeError::ZeroBatch => write!(f, "per-request batch size must be at least 1"),
+            ServeError::WarmupTooLarge { warmup, requests } => write!(
+                f,
+                "warm-up of {warmup} requests leaves nothing to measure out of {requests}"
+            ),
+            ServeError::Arrivals(e) => write!(f, "arrival process: {e}"),
+            ServeError::InvalidBatcher {
+                max_batch,
+                max_delay_s,
+            } => write!(
+                f,
+                "batch policy needs max_batch >= 1 and finite nonnegative \
+                 max_delay_s, got ({max_batch}, {max_delay_s})"
+            ),
+            ServeError::InvalidAdmission { detail } => write!(f, "admission policy: {detail}"),
+            ServeError::InvalidRepartitioner { detail } => write!(f, "repartitioner: {detail}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+/// Dynamic batching policy of one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    /// Requests per batch at which the batch closes immediately.
+    pub max_batch: usize,
+    /// Longest a batch may linger open waiting for more requests,
+    /// seconds. `0.0` closes every batch at the arrival that opened it.
+    pub max_delay_s: f64,
+}
+
+impl BatchPolicy {
+    /// No batching: every request is its own job, dispatched at
+    /// arrival. This is the raw-simulator-equivalent policy.
+    #[must_use]
+    pub fn immediate() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            max_delay_s: 0.0,
+        }
+    }
+
+    /// Close at `max_batch` requests or after `max_delay_s` seconds,
+    /// whichever comes first.
+    #[must_use]
+    pub fn new(max_batch: usize, max_delay_s: f64) -> Self {
+        BatchPolicy {
+            max_batch,
+            max_delay_s,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self::immediate()
+    }
+}
+
+/// Admission (load-shedding) policy of one tenant. All policies are
+/// deterministic functions of the backlog visible at arrival time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Admit everything (the raw-simulator-equivalent policy).
+    #[default]
+    Open,
+    /// Shed when the requests waiting ahead (open batch + jobs queued
+    /// before stage 0) have reached `max_waiting`.
+    QueueBound {
+        /// Waiting-request bound.
+        max_waiting: usize,
+    },
+    /// Shed when the estimated backlog drain time — admitted-but-
+    /// uncompleted requests times the deployed partition's bottleneck
+    /// service time (Little's law at the bottleneck) — exceeds the
+    /// latency target. Saturation then degrades into bounded-backlog
+    /// service instead of unbounded sojourn growth.
+    SloDelay {
+        /// Backlog drain-time target, seconds. A sane target is at
+        /// least the pipeline's no-load latency (`stages` requests are
+        /// in flight even unloaded).
+        target_s: f64,
+    },
+}
+
+/// One tenant of the serving runtime: a deployed pipeline, its traffic,
+/// and its serving policies.
+#[derive(Debug, Clone)]
+pub struct ServeTenant {
+    /// The deployed model (stage `k` runs on device `k`).
+    pub pipeline: CompiledPipeline,
+    /// Arrival process of the request stream.
+    pub arrivals: Arrivals,
+    /// Number of requests offered.
+    pub requests: usize,
+    /// Inferences carried per request (before dynamic batching).
+    pub batch: usize,
+    /// Admitted requests excluded from the front of the measurement
+    /// window.
+    pub warmup: usize,
+    /// Dynamic batching policy.
+    pub batcher: BatchPolicy,
+    /// Admission policy.
+    pub admission: AdmissionPolicy,
+    /// Live re-partitioning, if enabled.
+    pub repartitioner: Option<Repartitioner>,
+}
+
+impl ServeTenant {
+    /// A tenant with raw-simulator-equivalent defaults: closed-loop
+    /// arrivals, batch 1, no warm-up, immediate batcher, open
+    /// admission, no repartitioning.
+    #[must_use]
+    pub fn new(pipeline: CompiledPipeline, requests: usize) -> Self {
+        ServeTenant {
+            pipeline,
+            arrivals: Arrivals::ClosedLoop,
+            requests,
+            batch: 1,
+            warmup: 0,
+            batcher: BatchPolicy::immediate(),
+            admission: AdmissionPolicy::Open,
+            repartitioner: None,
+        }
+    }
+
+    /// Replaces the arrival process.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: Arrivals) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Replaces the per-request batch size.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Excludes the first `warmup` admitted requests from measurement.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Replaces the dynamic batching policy.
+    #[must_use]
+    pub fn with_batcher(mut self, batcher: BatchPolicy) -> Self {
+        self.batcher = batcher;
+        self
+    }
+
+    /// Replaces the admission policy.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Enables live re-partitioning.
+    #[must_use]
+    pub fn with_repartitioner(mut self, repartitioner: Repartitioner) -> Self {
+        self.repartitioner = Some(repartitioner);
+        self
+    }
+}
+
+/// Engine-level switches, orthogonal to the tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// `false`: every device has a dedicated host link. `true`: all
+    /// transfers share one USB bus in FIFO order (as
+    /// [`sim::SimConfig::contended_bus`]).
+    pub contended_bus: bool,
+    /// Record exact per-request completion records in
+    /// [`TenantServeReport::completions`].
+    pub record_completions: bool,
+}
+
+impl ServeConfig {
+    /// Dedicated per-device links.
+    #[must_use]
+    pub fn uncontended() -> Self {
+        ServeConfig {
+            contended_bus: false,
+            record_completions: false,
+        }
+    }
+
+    /// One shared host USB bus with FIFO contention.
+    #[must_use]
+    pub fn contended() -> Self {
+        ServeConfig {
+            contended_bus: true,
+            record_completions: false,
+        }
+    }
+
+    /// Enables per-request completion records.
+    #[must_use]
+    pub fn with_completions(mut self) -> Self {
+        self.record_completions = true;
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::uncontended()
+    }
+}
+
+/// One accepted pipeline hot-swap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwapRecord {
+    /// Simulated time of the swap, seconds.
+    pub at_s: f64,
+    /// Abstract objective of the partition swapped out.
+    pub from_objective: f64,
+    /// Abstract objective of the partition swapped in.
+    pub to_objective: f64,
+    /// Single-node moves the refinement applied.
+    pub moves: usize,
+}
+
+/// Per-tenant results of a serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantServeReport {
+    /// Requests offered by the arrival process.
+    pub offered: usize,
+    /// Requests admitted (offered − shed).
+    pub admitted: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Jobs (dynamic batches) executed.
+    pub jobs: usize,
+    /// Mean requests per job.
+    pub mean_job_requests: f64,
+    /// Admitted requests inside the measured window.
+    pub measured_requests: usize,
+    /// Completion time of the last admitted request, seconds.
+    pub total_s: f64,
+    /// Mean sojourn time over the measured window, seconds (includes
+    /// batching delay).
+    pub mean_latency_s: f64,
+    /// Worst sojourn time over the measured window, seconds.
+    pub max_latency_s: f64,
+    /// Measured-window throughput, inferences per second.
+    pub throughput_ips: f64,
+    /// Log-bucket histogram of measured sojourn times.
+    pub histogram: LatencyHistogram,
+    /// Accepted pipeline hot-swaps, in time order.
+    pub swaps: Vec<SwapRecord>,
+    /// Exact per-request completion records of admitted requests, in
+    /// arrival order (empty unless [`ServeConfig::record_completions`]).
+    pub completions: Vec<CompletionRecord>,
+}
+
+impl TenantServeReport {
+    /// Median sojourn time over the measured window, seconds.
+    #[must_use]
+    pub fn p50_s(&self) -> f64 {
+        self.histogram.p50()
+    }
+
+    /// 95th-percentile sojourn time, seconds.
+    #[must_use]
+    pub fn p95_s(&self) -> f64 {
+        self.histogram.p95()
+    }
+
+    /// 99th-percentile sojourn time, seconds.
+    #[must_use]
+    pub fn p99_s(&self) -> f64 {
+        self.histogram.p99()
+    }
+
+    /// 99.9th-percentile sojourn time, seconds.
+    #[must_use]
+    pub fn p999_s(&self) -> f64 {
+        self.histogram.p999()
+    }
+
+    /// Fraction of offered requests shed.
+    #[must_use]
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Results of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// One report per tenant, in input order.
+    pub tenants: Vec<TenantServeReport>,
+    /// Time the last event fired, seconds.
+    pub makespan_s: f64,
+    /// Total time the shared bus was busy, seconds (0 when
+    /// uncontended).
+    pub bus_busy_s: f64,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// Per-stage timings of one job, mirroring the engine decomposition of
+/// `respect_tpu::sim` (the `hold_s` arithmetic is
+/// [`sim::batch_service_time`], bitwise).
+#[derive(Debug, Clone, Copy)]
+struct StageTiming {
+    hold_s: f64,
+    host_s: f64,
+    input_s: f64,
+    compute_s: f64,
+    stream_s: f64,
+    output_s: f64,
+}
+
+fn job_timings(
+    pipeline: &CompiledPipeline,
+    spec: &DeviceSpec,
+    inferences: usize,
+) -> Vec<StageTiming> {
+    let b = inferences as u64;
+    pipeline
+        .segments
+        .iter()
+        .map(|seg| StageTiming {
+            hold_s: sim::batch_service_time(seg, spec, inferences),
+            host_s: spec.host_overhead_s,
+            input_s: usb::transfer_time(spec, seg.input_bytes * b),
+            compute_s: spec.compute_time(seg.macs * b),
+            stream_s: usb::transfer_time(spec, seg.streamed_bytes * b),
+            output_s: usb::transfer_time(spec, seg.output_bytes * b),
+        })
+        .collect()
+}
+
+/// Which transfer of a stage a bus hold carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusPhase {
+    Input,
+    Stream,
+    Output,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// Request `r` of tenant `w` arrives.
+    Arrive { w: usize, r: usize },
+    /// The open batch of tenant `w` hit its linger deadline.
+    FlushBatch { w: usize, epoch: u64 },
+    /// The whole uncontended stage hold elapsed.
+    StageDone { w: usize, j: usize, k: usize },
+    /// Host dispatch elapsed (contended path).
+    HostDone { w: usize, j: usize, k: usize },
+    /// Compute elapsed (contended path).
+    ComputeDone { w: usize, j: usize, k: usize },
+    /// A bus hold finished (contended path).
+    BusDone {
+        w: usize,
+        j: usize,
+        k: usize,
+        phase: BusPhase,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    t: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.t.to_bits() == other.t.to_bits() && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.t
+            .total_cmp(&other.t)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// One dynamic batch in flight.
+#[derive(Debug)]
+struct Job {
+    members: Vec<usize>,
+    timing: Vec<StageTiming>,
+}
+
+#[derive(Debug, Default)]
+struct Device {
+    busy: bool,
+    queue: VecDeque<(usize, usize)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BusRequest {
+    w: usize,
+    j: usize,
+    k: usize,
+    phase: BusPhase,
+    duration: f64,
+}
+
+#[derive(Debug, Default)]
+struct Bus {
+    busy: bool,
+    queue: VecDeque<BusRequest>,
+    busy_s: f64,
+}
+
+/// Per-tenant mutable serving state.
+struct TenantState {
+    pipeline: CompiledPipeline,
+    /// Single-request per-stage holds of the *current* pipeline — the
+    /// admission controller's service-time estimator.
+    base_hold_s: Vec<f64>,
+    bottleneck_hold_s: f64,
+    sampler: ArrivalSampler,
+    arrivals_at: Vec<f64>,
+    completed_at: Vec<f64>,
+    /// Admitted request indices, in arrival order.
+    admitted: Vec<usize>,
+    /// Admitted requests whose job has completed.
+    done_requests: usize,
+    shed: usize,
+    /// Requests accumulated in the open batch.
+    open: Vec<usize>,
+    /// Increments when a batch closes; stale flush timers compare
+    /// epochs and expire silently.
+    open_epoch: u64,
+    /// Requests inside jobs queued before stage 0 (not yet in
+    /// service).
+    waiting_stage0: usize,
+    jobs: Vec<Job>,
+    window: DriftWindow,
+    /// Re-partition evaluations that ran the refiner (bounded by
+    /// `DriftPolicy::max_swaps` whether or not they swapped).
+    repartition_attempts: usize,
+    swaps: Vec<SwapRecord>,
+}
+
+impl TenantState {
+    fn waiting(&self) -> usize {
+        self.open.len() + self.waiting_stage0
+    }
+}
+
+struct Engine<'a> {
+    tenants_cfg: &'a [ServeTenant],
+    spec: &'a DeviceSpec,
+    cfg: ServeConfig,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    devices: Vec<Device>,
+    bus: Bus,
+    states: Vec<TenantState>,
+    events: u64,
+    now: f64,
+}
+
+fn base_holds(pipeline: &CompiledPipeline, spec: &DeviceSpec, batch: usize) -> Vec<f64> {
+    pipeline
+        .segments
+        .iter()
+        .map(|seg| sim::batch_service_time(seg, spec, batch))
+        .collect()
+}
+
+impl<'a> Engine<'a> {
+    fn new(tenants: &'a [ServeTenant], spec: &'a DeviceSpec, cfg: ServeConfig) -> Self {
+        let chain = tenants
+            .iter()
+            .map(|t| t.pipeline.segments.len())
+            .max()
+            .unwrap_or(0);
+        let states = tenants
+            .iter()
+            .map(|t| {
+                let base = base_holds(&t.pipeline, spec, t.batch);
+                let bottleneck = base.iter().copied().fold(0.0, f64::max);
+                TenantState {
+                    pipeline: t.pipeline.clone(),
+                    bottleneck_hold_s: bottleneck,
+                    sampler: ArrivalSampler::new(t.arrivals),
+                    arrivals_at: vec![0.0; t.requests],
+                    completed_at: vec![0.0; t.requests],
+                    admitted: Vec::with_capacity(t.requests),
+                    done_requests: 0,
+                    shed: 0,
+                    open: Vec::new(),
+                    open_epoch: 0,
+                    waiting_stage0: 0,
+                    jobs: Vec::new(),
+                    window: DriftWindow::new(base.len()),
+                    repartition_attempts: 0,
+                    swaps: Vec::new(),
+                    base_hold_s: base,
+                }
+            })
+            .collect();
+        Engine {
+            tenants_cfg: tenants,
+            spec,
+            cfg,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            devices: (0..chain).map(|_| Device::default()).collect(),
+            bus: Bus::default(),
+            states,
+            events: 0,
+            now: 0.0,
+        }
+    }
+
+    fn push(&mut self, t: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { t, seq, kind }));
+    }
+
+    fn run(mut self) -> ServeReport {
+        for w in 0..self.tenants_cfg.len() {
+            let t0 = self.states[w].sampler.next_arrival_s();
+            self.push(t0, EventKind::Arrive { w, r: 0 });
+        }
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            // Flush timers whose batch already closed by size are stale:
+            // drop them before they advance the clock, so makespan and
+            // the event count reflect only work the system performed.
+            if let EventKind::FlushBatch { w, epoch } = ev.kind {
+                if self.states[w].open_epoch != epoch || self.states[w].open.is_empty() {
+                    continue;
+                }
+            }
+            self.now = ev.t;
+            self.events += 1;
+            match ev.kind {
+                EventKind::Arrive { w, r } => self.arrive(w, r, ev.t),
+                EventKind::FlushBatch { w, .. } => self.close_batch(w, ev.t),
+                EventKind::StageDone { w, j, k } => self.finish_stage(w, j, k, ev.t),
+                EventKind::HostDone { w, j, k } => {
+                    let d = self.states[w].jobs[j].timing[k].input_s;
+                    self.request_bus(
+                        BusRequest {
+                            w,
+                            j,
+                            k,
+                            phase: BusPhase::Input,
+                            duration: d,
+                        },
+                        ev.t,
+                    );
+                }
+                EventKind::ComputeDone { w, j, k } => {
+                    let d = self.states[w].jobs[j].timing[k].stream_s;
+                    self.request_bus(
+                        BusRequest {
+                            w,
+                            j,
+                            k,
+                            phase: BusPhase::Stream,
+                            duration: d,
+                        },
+                        ev.t,
+                    );
+                }
+                EventKind::BusDone { w, j, k, phase } => {
+                    self.release_bus(ev.t);
+                    self.after_bus_phase(w, j, k, phase, ev.t);
+                }
+            }
+        }
+        self.finalize()
+    }
+
+    fn arrive(&mut self, w: usize, r: usize, t: f64) {
+        self.states[w].arrivals_at[r] = t;
+        if r + 1 < self.tenants_cfg[w].requests {
+            let tn = self.states[w].sampler.next_arrival_s();
+            self.push(tn, EventKind::Arrive { w, r: r + 1 });
+        }
+        let st = &mut self.states[w];
+        let admit = match self.tenants_cfg[w].admission {
+            AdmissionPolicy::Open => true,
+            AdmissionPolicy::QueueBound { max_waiting } => st.waiting() < max_waiting,
+            AdmissionPolicy::SloDelay { target_s } => {
+                let in_system = st.admitted.len() - st.done_requests;
+                in_system as f64 * st.bottleneck_hold_s <= target_s
+            }
+        };
+        if !admit {
+            st.shed += 1;
+            return;
+        }
+        st.admitted.push(r);
+        st.open.push(r);
+        let policy = self.tenants_cfg[w].batcher;
+        if st.open.len() >= policy.max_batch || policy.max_delay_s == 0.0 {
+            self.close_batch(w, t);
+        } else if st.open.len() == 1 {
+            let epoch = st.open_epoch;
+            self.push(t + policy.max_delay_s, EventKind::FlushBatch { w, epoch });
+        }
+    }
+
+    fn close_batch(&mut self, w: usize, t: f64) {
+        let spec = self.spec;
+        let batch = self.tenants_cfg[w].batch;
+        let st = &mut self.states[w];
+        let members = std::mem::take(&mut st.open);
+        st.open_epoch += 1;
+        let inferences = members.len() * batch;
+        let timing = job_timings(&st.pipeline, spec, inferences);
+        st.jobs.push(Job { members, timing });
+        let j = st.jobs.len() - 1;
+        self.join_device(w, j, 0, t);
+    }
+
+    fn join_device(&mut self, w: usize, j: usize, k: usize, t: f64) {
+        if self.devices[k].busy {
+            if k == 0 {
+                let st = &mut self.states[w];
+                st.waiting_stage0 += st.jobs[j].members.len();
+            }
+            self.devices[k].queue.push_back((w, j));
+        } else {
+            self.seize_device(w, j, k, t);
+        }
+    }
+
+    fn seize_device(&mut self, w: usize, j: usize, k: usize, t: f64) {
+        self.devices[k].busy = true;
+        let timing = self.states[w].jobs[j].timing[k];
+        if self.cfg.contended_bus {
+            self.push(t + timing.host_s, EventKind::HostDone { w, j, k });
+        } else {
+            self.push(t + timing.hold_s, EventKind::StageDone { w, j, k });
+        }
+    }
+
+    /// Zero-length transfers skip the bus entirely (matching
+    /// `usb::transfer_time(_, 0) == 0` and the raw engine).
+    fn request_bus(&mut self, req: BusRequest, t: f64) {
+        if req.duration == 0.0 {
+            self.after_bus_phase(req.w, req.j, req.k, req.phase, t);
+        } else if self.bus.busy {
+            self.bus.queue.push_back(req);
+        } else {
+            self.grant_bus(req, t);
+        }
+    }
+
+    fn grant_bus(&mut self, req: BusRequest, t: f64) {
+        self.bus.busy = true;
+        self.bus.busy_s += req.duration;
+        self.push(
+            t + req.duration,
+            EventKind::BusDone {
+                w: req.w,
+                j: req.j,
+                k: req.k,
+                phase: req.phase,
+            },
+        );
+    }
+
+    fn release_bus(&mut self, t: f64) {
+        self.bus.busy = false;
+        if let Some(next) = self.bus.queue.pop_front() {
+            self.grant_bus(next, t);
+        }
+    }
+
+    fn after_bus_phase(&mut self, w: usize, j: usize, k: usize, phase: BusPhase, t: f64) {
+        match phase {
+            BusPhase::Input => {
+                let d = self.states[w].jobs[j].timing[k].compute_s;
+                self.push(t + d, EventKind::ComputeDone { w, j, k });
+            }
+            BusPhase::Stream => {
+                let d = self.states[w].jobs[j].timing[k].output_s;
+                self.request_bus(
+                    BusRequest {
+                        w,
+                        j,
+                        k,
+                        phase: BusPhase::Output,
+                        duration: d,
+                    },
+                    t,
+                );
+            }
+            BusPhase::Output => self.finish_stage(w, j, k, t),
+        }
+    }
+
+    fn finish_stage(&mut self, w: usize, j: usize, k: usize, t: f64) {
+        self.devices[k].busy = false;
+        if let Some((nw, nj)) = self.devices[k].queue.pop_front() {
+            if k == 0 {
+                let st = &mut self.states[nw];
+                st.waiting_stage0 -= st.jobs[nj].members.len();
+            }
+            self.seize_device(nw, nj, k, t);
+        }
+        if k + 1 < self.states[w].pipeline_stages(j) {
+            self.join_device(w, j, k + 1, t);
+        } else {
+            self.complete_job(w, j, t);
+        }
+    }
+
+    fn complete_job(&mut self, w: usize, j: usize, t: f64) {
+        let tenants = self.tenants_cfg;
+        let st = &mut self.states[w];
+        for idx in 0..st.jobs[j].members.len() {
+            let r = st.jobs[j].members[idx];
+            st.completed_at[r] = t;
+        }
+        st.done_requests += st.jobs[j].members.len();
+        let holds: Vec<f64> = st.jobs[j].timing.iter().map(|s| s.hold_s).collect();
+        let members = st.jobs[j].members.len();
+        // the drift window tracks the current partition's stage count;
+        // jobs formed before a swap may be shorter or longer — compare
+        // only shape-matching observations
+        if holds.len() == st.window.busy_s.len() {
+            st.window.observe(&holds, members);
+        }
+        if let Some(rep) = tenants[w].repartitioner.as_ref() {
+            if st.window.jobs >= rep.policy.window_jobs {
+                self.evaluate_drift(w, t, rep);
+            }
+        }
+    }
+
+    fn evaluate_drift(&mut self, w: usize, t: f64, rep: &Repartitioner) {
+        let spec = self.spec;
+        let batch = self.tenants_cfg[w].batch;
+        let st = &mut self.states[w];
+        // A well-partitioned pipeline spends equal busy time per stage
+        // (the objective is the bottleneck); measured skew against that
+        // balanced ideal is capacity left on the table. The compiled
+        // schedule's own belief is enforced downstream: if no better
+        // partition exists the refiner returns no gain and no swap
+        // happens (min_gain gate).
+        let uniform = vec![1.0; st.window.busy_s.len()];
+        let divergence = st.window.divergence(&uniform);
+        st.window.reset();
+        if divergence <= rep.policy.threshold || st.repartition_attempts >= rep.policy.max_swaps {
+            return;
+        }
+        st.repartition_attempts += 1;
+        let from_obj = rep.model.objective(&rep.dag, &st.pipeline.schedule);
+        let out = repartition::refine(
+            &rep.dag,
+            rep.model,
+            &st.pipeline.schedule,
+            rep.policy.passes,
+        );
+        if out.objective >= from_obj * (1.0 - rep.policy.min_gain) {
+            return;
+        }
+        let new_pipeline = compile::compile(&rep.dag, &out.schedule, spec)
+            .expect("refined schedule stays valid for the tenant's dag");
+        debug_assert_eq!(
+            new_pipeline.segments.len(),
+            st.pipeline.segments.len(),
+            "refinement preserves the stage count"
+        );
+        st.pipeline = new_pipeline;
+        st.base_hold_s = base_holds(&st.pipeline, spec, batch);
+        st.bottleneck_hold_s = st.base_hold_s.iter().copied().fold(0.0, f64::max);
+        st.window = DriftWindow::new(st.base_hold_s.len());
+        st.swaps.push(SwapRecord {
+            at_s: t,
+            from_objective: from_obj,
+            to_objective: out.objective,
+            moves: out.moves,
+        });
+    }
+
+    fn finalize(self) -> ServeReport {
+        let mut reports = Vec::with_capacity(self.tenants_cfg.len());
+        for (tcfg, st) in self.tenants_cfg.iter().zip(&self.states) {
+            let n_adm = st.admitted.len();
+            debug_assert_eq!(n_adm + st.shed, tcfg.requests, "every request disposed");
+            if n_adm == 0 {
+                reports.push(TenantServeReport {
+                    offered: tcfg.requests,
+                    admitted: 0,
+                    shed: st.shed,
+                    jobs: 0,
+                    mean_job_requests: 0.0,
+                    measured_requests: 0,
+                    total_s: 0.0,
+                    mean_latency_s: 0.0,
+                    max_latency_s: 0.0,
+                    throughput_ips: 0.0,
+                    histogram: LatencyHistogram::new(),
+                    swaps: st.swaps.clone(),
+                    completions: Vec::new(),
+                });
+                continue;
+            }
+            let warm = tcfg.warmup.min(n_adm - 1);
+            let total_s = st.completed_at[*st.admitted.last().expect("nonempty")];
+            let window_start = if warm == 0 {
+                0.0
+            } else {
+                st.completed_at[st.admitted[warm - 1]]
+            };
+            let measured = n_adm - warm;
+            let measured_inferences = measured * tcfg.batch;
+            let window_s = total_s - window_start;
+            let throughput_ips = if window_s > 0.0 {
+                measured_inferences as f64 / window_s
+            } else {
+                f64::INFINITY
+            };
+            let mut lat_sum = 0.0;
+            let mut lat_max = 0.0f64;
+            let mut histogram = LatencyHistogram::new();
+            for &r in &st.admitted[warm..] {
+                let lat = st.completed_at[r] - st.arrivals_at[r];
+                lat_sum += lat;
+                lat_max = lat_max.max(lat);
+                histogram.record(lat);
+            }
+            let completions = if self.cfg.record_completions {
+                st.admitted
+                    .iter()
+                    .map(|&r| CompletionRecord {
+                        request: r,
+                        batch: tcfg.batch,
+                        arrival_s: st.arrivals_at[r],
+                        completed_s: st.completed_at[r],
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            reports.push(TenantServeReport {
+                offered: tcfg.requests,
+                admitted: n_adm,
+                shed: st.shed,
+                jobs: st.jobs.len(),
+                mean_job_requests: n_adm as f64 / st.jobs.len() as f64,
+                measured_requests: measured,
+                total_s,
+                mean_latency_s: lat_sum / measured as f64,
+                max_latency_s: lat_max,
+                throughput_ips,
+                histogram,
+                swaps: st.swaps.clone(),
+                completions,
+            });
+        }
+        ServeReport {
+            tenants: reports,
+            makespan_s: self.now,
+            bus_busy_s: self.bus.busy_s,
+            events: self.events,
+        }
+    }
+}
+
+impl TenantState {
+    /// Stage count of job `j` (its snapshot, not the current pipeline:
+    /// in-flight jobs finish on the partition they were formed under).
+    fn pipeline_stages(&self, j: usize) -> usize {
+        self.jobs[j].timing.len()
+    }
+}
+
+/// Runs the serving runtime for `tenants` co-resident on one device
+/// chain under `cfg`.
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] if any tenant is degenerate (zero requests,
+/// zero batch, empty pipeline, bad arrival/batch/admission parameters,
+/// a repartitioner whose dag does not match the deployed schedule) or
+/// if no tenants are supplied. Nothing is simulated on error.
+pub fn serve(
+    tenants: &[ServeTenant],
+    spec: &DeviceSpec,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    if tenants.is_empty() {
+        return Err(ServeError::NoTenants);
+    }
+    for t in tenants {
+        if t.requests == 0 {
+            return Err(ServeError::NoRequests);
+        }
+        if t.batch == 0 {
+            return Err(ServeError::ZeroBatch);
+        }
+        if t.pipeline.segments.is_empty() {
+            return Err(ServeError::EmptyPipeline);
+        }
+        if t.warmup >= t.requests {
+            return Err(ServeError::WarmupTooLarge {
+                warmup: t.warmup,
+                requests: t.requests,
+            });
+        }
+        t.arrivals.validate().map_err(ServeError::Arrivals)?;
+        let b = t.batcher;
+        if b.max_batch == 0 || !(b.max_delay_s >= 0.0 && b.max_delay_s.is_finite()) {
+            return Err(ServeError::InvalidBatcher {
+                max_batch: b.max_batch,
+                max_delay_s: b.max_delay_s,
+            });
+        }
+        match t.admission {
+            AdmissionPolicy::Open => {}
+            AdmissionPolicy::QueueBound { max_waiting } => {
+                if max_waiting == 0 {
+                    return Err(ServeError::InvalidAdmission {
+                        detail: "QueueBound max_waiting must be at least 1",
+                    });
+                }
+            }
+            AdmissionPolicy::SloDelay { target_s } => {
+                if !(target_s >= 0.0 && target_s.is_finite()) {
+                    return Err(ServeError::InvalidAdmission {
+                        detail: "SloDelay target must be finite and nonnegative",
+                    });
+                }
+            }
+        }
+        if let Some(rep) = &t.repartitioner {
+            if t.pipeline.schedule.validate(&rep.dag).is_err() {
+                return Err(ServeError::InvalidRepartitioner {
+                    detail: "deployed schedule is not valid for the repartitioner's dag",
+                });
+            }
+            let p = &rep.policy;
+            if p.window_jobs == 0 {
+                return Err(ServeError::InvalidRepartitioner {
+                    detail: "window_jobs must be at least 1",
+                });
+            }
+            let threshold_ok = p.threshold >= 0.0 && p.threshold.is_finite();
+            let gain_ok = p.min_gain >= 0.0 && p.min_gain < 1.0;
+            if !threshold_ok || !gain_ok {
+                return Err(ServeError::InvalidRepartitioner {
+                    detail: "threshold must be finite nonnegative and min_gain in [0, 1)",
+                });
+            }
+        }
+    }
+    Ok(Engine::new(tenants, spec, *cfg).run())
+}

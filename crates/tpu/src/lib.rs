@@ -52,4 +52,7 @@ pub mod usb;
 pub use compile::{CompiledPipeline, EdgeTpuCompiler, Segment};
 pub use device::DeviceSpec;
 pub use exec::InferenceReport;
-pub use sim::{Arrivals, SimConfig, SimError, SimReport, TenantReport, Workload};
+pub use sim::{
+    ArrivalSampler, Arrivals, CompletionRecord, SimConfig, SimError, SimReport, TenantReport,
+    Workload,
+};

@@ -63,6 +63,21 @@ pub enum SimError {
         /// The offending requests-per-second rate.
         rate: f64,
     },
+    /// An MMPP mean state dwell is zero, negative, or non-finite.
+    InvalidDwell {
+        /// The offending mean dwell, seconds.
+        dwell_s: f64,
+    },
+    /// A diurnal amplitude is outside `[0, 1]`.
+    InvalidAmplitude {
+        /// The offending relative amplitude.
+        amplitude: f64,
+    },
+    /// A diurnal period is zero, negative, or non-finite.
+    InvalidPeriod {
+        /// The offending period, seconds.
+        period_s: f64,
+    },
     /// The warm-up window would swallow every request.
     WarmupTooLarge {
         /// Requests excluded from measurement.
@@ -83,6 +98,21 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "open-loop arrival rate must be positive and finite, got {rate}"
+                )
+            }
+            SimError::InvalidDwell { dwell_s } => {
+                write!(
+                    f,
+                    "MMPP mean dwell must be positive and finite, got {dwell_s}"
+                )
+            }
+            SimError::InvalidAmplitude { amplitude } => {
+                write!(f, "diurnal amplitude must be in [0, 1], got {amplitude}")
+            }
+            SimError::InvalidPeriod { period_s } => {
+                write!(
+                    f,
+                    "diurnal period must be positive and finite, got {period_s}"
                 )
             }
             SimError::WarmupTooLarge { warmup, requests } => write!(
@@ -114,6 +144,213 @@ pub enum Arrivals {
         /// RNG seed for the inter-arrival stream.
         seed: u64,
     },
+    /// Bursty open loop: a two-state Markov-modulated Poisson process.
+    /// The stream alternates between a calm state emitting at `low_rate`
+    /// and a burst state emitting at `high_rate`; state dwell times are
+    /// exponential with mean `mean_dwell_s`. Starts in the calm state.
+    /// Deterministic per seed.
+    Mmpp {
+        /// Requests per second in the calm state.
+        low_rate: f64,
+        /// Requests per second in the burst state.
+        high_rate: f64,
+        /// Mean seconds spent in each state before switching.
+        mean_dwell_s: f64,
+        /// RNG seed for the dwell and inter-arrival streams.
+        seed: u64,
+    },
+    /// Diurnally modulated open loop: a non-homogeneous Poisson process
+    /// whose instantaneous rate follows a triangle wave (pure arithmetic,
+    /// bitwise-reproducible — no libm trig) between
+    /// `mean_rate * (1 - amplitude)` and `mean_rate * (1 + amplitude)`
+    /// with period `period_s`, sampled by Lewis–Shedler thinning. The
+    /// wave starts at its trough. Deterministic per seed.
+    Diurnal {
+        /// Cycle-average requests per second.
+        mean_rate: f64,
+        /// Relative swing around the mean, in `[0, 1]`.
+        amplitude: f64,
+        /// Seconds per day/night cycle.
+        period_s: f64,
+        /// RNG seed for the thinned candidate stream.
+        seed: u64,
+    },
+}
+
+impl Arrivals {
+    /// Validates the process parameters (rates positive and finite,
+    /// amplitude in `[0, 1]`, periods/dwells positive and finite).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] that [`run`] would reject the workload
+    /// with.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let rate_ok = |rate: f64| {
+            if rate > 0.0 && rate.is_finite() {
+                Ok(())
+            } else {
+                Err(SimError::InvalidRate { rate })
+            }
+        };
+        match *self {
+            Arrivals::ClosedLoop => Ok(()),
+            Arrivals::Periodic { rate } | Arrivals::Poisson { rate, .. } => rate_ok(rate),
+            Arrivals::Mmpp {
+                low_rate,
+                high_rate,
+                mean_dwell_s,
+                ..
+            } => {
+                rate_ok(low_rate)?;
+                rate_ok(high_rate)?;
+                if mean_dwell_s > 0.0 && mean_dwell_s.is_finite() {
+                    Ok(())
+                } else {
+                    Err(SimError::InvalidDwell {
+                        dwell_s: mean_dwell_s,
+                    })
+                }
+            }
+            Arrivals::Diurnal {
+                mean_rate,
+                amplitude,
+                period_s,
+                ..
+            } => {
+                rate_ok(mean_rate)?;
+                if !(0.0..=1.0).contains(&amplitude) {
+                    return Err(SimError::InvalidAmplitude { amplitude });
+                }
+                if period_s > 0.0 && period_s.is_finite() {
+                    Ok(())
+                } else {
+                    Err(SimError::InvalidPeriod { period_s })
+                }
+            }
+        }
+    }
+}
+
+/// Draws one exponential inter-event gap of rate `rate` (mean `1/rate`),
+/// bitwise-matching the engine's historical Poisson sampling.
+fn exp_gap(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() / rate
+}
+
+/// Instantaneous diurnal rate at time `t`: a triangle wave with troughs
+/// at whole periods and a crest at the half period.
+fn diurnal_rate(t: f64, mean_rate: f64, amplitude: f64, period_s: f64) -> f64 {
+    let phase = t / period_s - (t / period_s).floor();
+    let tri = 1.0 - 4.0 * (phase - 0.5).abs();
+    mean_rate * (1.0 + amplitude * tri)
+}
+
+/// Stateful generator of one tenant's arrival instants — the single
+/// source of truth for every [`Arrivals`] process, shared by this engine
+/// and the serving runtime (`respect_serve`) so both layers see
+/// bitwise-identical streams.
+///
+/// Each call to [`next_arrival_s`](ArrivalSampler::next_arrival_s)
+/// returns the absolute arrival time of the next request; times are
+/// nondecreasing. The sampler is deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    arrivals: Arrivals,
+    rng: Option<StdRng>,
+    /// Requests emitted so far (drives [`Arrivals::Periodic`]).
+    index: usize,
+    /// Absolute time of the last emitted arrival (open-loop modes).
+    clock_s: f64,
+    /// MMPP: currently in the burst state?
+    high: bool,
+    /// MMPP: absolute time the current state ends.
+    state_until_s: f64,
+}
+
+impl ArrivalSampler {
+    /// Builds a sampler for one request stream. Parameters are assumed
+    /// valid (see [`Arrivals::validate`]).
+    #[must_use]
+    pub fn new(arrivals: Arrivals) -> Self {
+        let mut rng = match arrivals {
+            Arrivals::Poisson { seed, .. }
+            | Arrivals::Mmpp { seed, .. }
+            | Arrivals::Diurnal { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+            Arrivals::ClosedLoop | Arrivals::Periodic { .. } => None,
+        };
+        let mut state_until_s = 0.0;
+        if let Arrivals::Mmpp { mean_dwell_s, .. } = arrivals {
+            let u: f64 = rng.as_mut().expect("seeded mmpp rng").gen_range(0.0..1.0);
+            state_until_s = -(1.0 - u).ln() * mean_dwell_s;
+        }
+        ArrivalSampler {
+            arrivals,
+            rng,
+            index: 0,
+            clock_s: 0.0,
+            high: false,
+            state_until_s,
+        }
+    }
+
+    /// Absolute arrival time of the next request, seconds.
+    pub fn next_arrival_s(&mut self) -> f64 {
+        match self.arrivals {
+            Arrivals::ClosedLoop => 0.0,
+            Arrivals::Periodic { rate } => {
+                let t = self.index as f64 / rate;
+                self.index += 1;
+                t
+            }
+            Arrivals::Poisson { rate, .. } => {
+                // every request, including the first, samples its gap:
+                // the realized stream is a genuine Poisson process
+                let rng = self.rng.as_mut().expect("poisson rng");
+                self.clock_s += exp_gap(rng, rate);
+                self.clock_s
+            }
+            Arrivals::Mmpp {
+                low_rate,
+                high_rate,
+                mean_dwell_s,
+                ..
+            } => {
+                let rng = self.rng.as_mut().expect("mmpp rng");
+                loop {
+                    let rate = if self.high { high_rate } else { low_rate };
+                    let gap = exp_gap(rng, rate);
+                    if self.clock_s + gap <= self.state_until_s {
+                        self.clock_s += gap;
+                        return self.clock_s;
+                    }
+                    // the candidate lands past the state boundary: jump
+                    // to the switch (memorylessness permits a resample)
+                    self.clock_s = self.state_until_s;
+                    self.high = !self.high;
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    self.state_until_s = self.clock_s - (1.0 - u).ln() * mean_dwell_s;
+                }
+            }
+            Arrivals::Diurnal {
+                mean_rate,
+                amplitude,
+                period_s,
+                ..
+            } => {
+                let rng = self.rng.as_mut().expect("diurnal rng");
+                let peak = mean_rate * (1.0 + amplitude);
+                loop {
+                    self.clock_s += exp_gap(rng, peak);
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    if u * peak <= diurnal_rate(self.clock_s, mean_rate, amplitude, period_s) {
+                        return self.clock_s;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// One tenant: a compiled pipeline plus its traffic shape.
@@ -138,6 +375,7 @@ impl Workload {
     /// A workload with the default traffic shape — closed-loop arrivals,
     /// batch 1, no warm-up. Compose with the `with_*` builders to pick a
     /// scenario.
+    #[must_use]
     pub fn new(pipeline: CompiledPipeline, requests: usize) -> Self {
         Workload {
             pipeline,
@@ -150,23 +388,27 @@ impl Workload {
 
     /// A closed-loop unbatched stream — the legacy `exec::simulate`
     /// scenario, spelled out (alias of [`Workload::new`]).
+    #[must_use]
     pub fn closed_loop(pipeline: CompiledPipeline, requests: usize) -> Self {
         Self::new(pipeline, requests)
     }
 
     /// Replaces the arrival process.
+    #[must_use]
     pub fn with_arrivals(mut self, arrivals: Arrivals) -> Self {
         self.arrivals = arrivals;
         self
     }
 
     /// Replaces the per-request batch size.
+    #[must_use]
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = batch;
         self
     }
 
     /// Excludes the first `warmup` requests from the measured window.
+    #[must_use]
     pub fn with_warmup(mut self, warmup: usize) -> Self {
         self.warmup = warmup;
         self
@@ -194,28 +436,45 @@ pub struct SimConfig {
     /// Record per-resource busy intervals in [`SimReport::trace`]
     /// (costs memory proportional to event count; meant for tests).
     pub record_trace: bool,
+    /// Record exact per-request `(arrival, completion)` event times in
+    /// [`TenantReport::completions`] (costs memory proportional to
+    /// request count). The percentile layer of `respect_serve` is
+    /// computed from these records.
+    pub record_completions: bool,
 }
 
 impl SimConfig {
     /// Dedicated per-device links — the legacy degenerate case.
+    #[must_use]
     pub fn uncontended() -> Self {
         SimConfig {
             contended_bus: false,
             record_trace: false,
+            record_completions: false,
         }
     }
 
     /// One shared host USB bus with FIFO contention.
+    #[must_use]
     pub fn contended() -> Self {
         SimConfig {
             contended_bus: true,
             record_trace: false,
+            record_completions: false,
         }
     }
 
     /// Enables trace recording.
+    #[must_use]
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Enables per-request completion records.
+    #[must_use]
+    pub fn with_completions(mut self) -> Self {
+        self.record_completions = true;
         self
     }
 }
@@ -253,6 +512,28 @@ pub struct TraceSpan {
     pub end_s: f64,
 }
 
+/// Exact event times of one request (recorded when
+/// [`SimConfig::record_completions`] is set).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletionRecord {
+    /// Request index within the tenant.
+    pub request: usize,
+    /// Inferences the request carried.
+    pub batch: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Completion time (last stage done), seconds.
+    pub completed_s: f64,
+}
+
+impl CompletionRecord {
+    /// Sojourn time (completion − arrival), seconds.
+    #[inline]
+    pub fn latency_s(&self) -> f64 {
+        self.completed_s - self.arrival_s
+    }
+}
+
 /// Per-tenant results of a simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TenantReport {
@@ -272,6 +553,9 @@ pub struct TenantReport {
     pub max_latency_s: f64,
     /// Measured-window throughput, inferences per second.
     pub throughput_ips: f64,
+    /// Exact per-request event times, in request order (empty unless
+    /// [`SimConfig::record_completions`]).
+    pub completions: Vec<CompletionRecord>,
 }
 
 /// Results of one simulation run.
@@ -448,8 +732,7 @@ struct Tenant {
     arrivals_at: Vec<f64>,
     completed_at: Vec<f64>,
     done: usize,
-    rng: Option<StdRng>,
-    next_arrival_s: f64,
+    sampler: ArrivalSampler,
 }
 
 struct Engine<'a> {
@@ -484,11 +767,7 @@ impl<'a> Engine<'a> {
                 arrivals_at: vec![0.0; wl.requests],
                 completed_at: vec![0.0; wl.requests],
                 done: 0,
-                rng: match wl.arrivals {
-                    Arrivals::Poisson { seed, .. } => Some(StdRng::seed_from_u64(seed)),
-                    _ => None,
-                },
-                next_arrival_s: 0.0,
+                sampler: ArrivalSampler::new(wl.arrivals),
             })
             .collect();
         Engine {
@@ -511,29 +790,12 @@ impl<'a> Engine<'a> {
         self.heap.push(Reverse(Event { t, seq, kind }));
     }
 
-    /// Next inter-arrival gap for tenant `w` (open-loop modes only).
-    fn arrival_time(&mut self, w: usize, r: usize) -> f64 {
-        match self.workloads[w].arrivals {
-            Arrivals::ClosedLoop => 0.0,
-            Arrivals::Periodic { rate } => r as f64 / rate,
-            Arrivals::Poisson { rate, .. } => {
-                // every request, including the first, samples its gap:
-                // the realized stream is a genuine Poisson process
-                let rng = self.tenants[w].rng.as_mut().expect("poisson rng");
-                let u: f64 = rng.gen_range(0.0..1.0);
-                let gap = -(1.0 - u).ln() / rate;
-                self.tenants[w].next_arrival_s += gap;
-                self.tenants[w].next_arrival_s
-            }
-        }
-    }
-
     fn run(mut self) -> SimReport {
         // Seed one pending arrival per tenant; each Arrive schedules the
         // next, so the heap never holds more than one future arrival per
         // tenant.
         for w in 0..self.workloads.len() {
-            let t0 = self.arrival_time(w, 0);
+            let t0 = self.tenants[w].sampler.next_arrival_s();
             self.push(t0, EventKind::Arrive { w, r: 0 });
         }
         while let Some(Reverse(ev)) = self.heap.pop() {
@@ -543,7 +805,7 @@ impl<'a> Engine<'a> {
                 EventKind::Arrive { w, r } => {
                     self.tenants[w].arrivals_at[r] = ev.t;
                     if r + 1 < self.workloads[w].requests {
-                        let tn = self.arrival_time(w, r + 1);
+                        let tn = self.tenants[w].sampler.next_arrival_s();
                         self.push(tn, EventKind::Arrive { w, r: r + 1 });
                     }
                     self.join_device(w, r, 0, ev.t);
@@ -724,6 +986,18 @@ impl<'a> Engine<'a> {
                 lat_sum += lat;
                 lat_max = lat_max.max(lat);
             }
+            let completions = if self.cfg.record_completions {
+                (0..n)
+                    .map(|r| CompletionRecord {
+                        request: r,
+                        batch: wl.batch,
+                        arrival_s: tenant.arrivals_at[r],
+                        completed_s: tenant.completed_at[r],
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
             reports.push(TenantReport {
                 requests: n,
                 inferences: wl.inferences(),
@@ -733,6 +1007,7 @@ impl<'a> Engine<'a> {
                 mean_latency_s: lat_sum / measured as f64,
                 max_latency_s: lat_max,
                 throughput_ips,
+                completions,
             });
         }
         SimReport {
@@ -809,14 +1084,7 @@ fn run_views(
                 requests: wl.requests,
             });
         }
-        match wl.arrivals {
-            Arrivals::Periodic { rate } | Arrivals::Poisson { rate, .. } => {
-                if !(rate > 0.0 && rate.is_finite()) {
-                    return Err(SimError::InvalidRate { rate });
-                }
-            }
-            Arrivals::ClosedLoop => {}
-        }
+        wl.arrivals.validate()?;
     }
     Ok(Engine::new(workloads, spec, *cfg).run())
 }
@@ -983,6 +1251,226 @@ mod tests {
         assert!(r.trace.iter().any(|s| s.resource == ResourceId::Bus));
         for s in &r.trace {
             assert!(s.end_s >= s.start_s);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_arrival_parameters() {
+        let (p, spec) = pipeline(2);
+        let cfg = SimConfig::uncontended();
+        let with = |a| vec![Workload::new(p.clone(), 5).with_arrivals(a)];
+        assert_eq!(
+            run(
+                &with(Arrivals::Mmpp {
+                    low_rate: 10.0,
+                    high_rate: 100.0,
+                    mean_dwell_s: 0.0,
+                    seed: 1
+                }),
+                &spec,
+                &cfg
+            ),
+            Err(SimError::InvalidDwell { dwell_s: 0.0 })
+        );
+        assert_eq!(
+            run(
+                &with(Arrivals::Mmpp {
+                    low_rate: -1.0,
+                    high_rate: 100.0,
+                    mean_dwell_s: 1.0,
+                    seed: 1
+                }),
+                &spec,
+                &cfg
+            ),
+            Err(SimError::InvalidRate { rate: -1.0 })
+        );
+        assert_eq!(
+            run(
+                &with(Arrivals::Diurnal {
+                    mean_rate: 10.0,
+                    amplitude: 1.5,
+                    period_s: 1.0,
+                    seed: 1
+                }),
+                &spec,
+                &cfg
+            ),
+            Err(SimError::InvalidAmplitude { amplitude: 1.5 })
+        );
+        assert_eq!(
+            run(
+                &with(Arrivals::Diurnal {
+                    mean_rate: 10.0,
+                    amplitude: 0.5,
+                    period_s: f64::INFINITY,
+                    seed: 1
+                }),
+                &spec,
+                &cfg
+            ),
+            Err(SimError::InvalidPeriod {
+                period_s: f64::INFINITY
+            })
+        );
+    }
+
+    /// Draws `n` arrivals from a fresh sampler.
+    fn stream(a: Arrivals, n: usize) -> Vec<f64> {
+        let mut s = ArrivalSampler::new(a);
+        (0..n).map(|_| s.next_arrival_s()).collect()
+    }
+
+    #[test]
+    fn mmpp_and_diurnal_streams_are_seeded_deterministic() {
+        let mmpp = |seed| Arrivals::Mmpp {
+            low_rate: 50.0,
+            high_rate: 2_000.0,
+            mean_dwell_s: 0.05,
+            seed,
+        };
+        let diurnal = |seed| Arrivals::Diurnal {
+            mean_rate: 500.0,
+            amplitude: 0.8,
+            period_s: 0.25,
+            seed,
+        };
+        for (a, b, c) in [
+            (mmpp(9), mmpp(9), mmpp(10)),
+            (diurnal(9), diurnal(9), diurnal(10)),
+        ] {
+            let (sa, sb, sc) = (stream(a, 400), stream(b, 400), stream(c, 400));
+            let bits = |s: &[f64]| s.iter().map(|t| t.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&sa), bits(&sb), "same seed, bitwise-equal stream");
+            assert_ne!(bits(&sa), bits(&sc), "different seed, different stream");
+            for w in sa.windows(2) {
+                assert!(w[1] >= w[0], "arrival times are nondecreasing");
+            }
+        }
+    }
+
+    #[test]
+    fn mmpp_rate_scaling_tracks_its_states() {
+        // With both states at the same rate the MMPP collapses to a
+        // Poisson process of that rate: the empirical rate must track it
+        // and double when the rate doubles.
+        let n = 4_000;
+        let flat = |rate| Arrivals::Mmpp {
+            low_rate: rate,
+            high_rate: rate,
+            mean_dwell_s: 0.01,
+            seed: 1234,
+        };
+        let r1 = n as f64 / stream(flat(1_000.0), n)[n - 1];
+        let r2 = n as f64 / stream(flat(2_000.0), n)[n - 1];
+        assert!((r1 - 1_000.0).abs() / 1_000.0 < 0.1, "empirical rate {r1}");
+        assert!(
+            (r2 / r1 - 2.0).abs() < 0.2,
+            "doubling the rate: {}",
+            r2 / r1
+        );
+        // A genuinely bursty stream's mean rate sits between its states.
+        let bursty = stream(
+            Arrivals::Mmpp {
+                low_rate: 100.0,
+                high_rate: 4_000.0,
+                mean_dwell_s: 0.02,
+                seed: 7,
+            },
+            n,
+        );
+        let rb = n as f64 / bursty[n - 1];
+        assert!(rb > 150.0 && rb < 3_500.0, "bursty empirical rate {rb}");
+    }
+
+    #[test]
+    fn diurnal_mean_rate_is_preserved_over_whole_cycles() {
+        // Thinning modulates the instantaneous rate but the cycle average
+        // must stay at mean_rate (triangle wave is symmetric).
+        let n = 20_000;
+        let s = stream(
+            Arrivals::Diurnal {
+                mean_rate: 1_000.0,
+                amplitude: 1.0,
+                period_s: 0.5,
+                seed: 99,
+            },
+            n,
+        );
+        let horizon = s[n - 1];
+        let whole = (horizon / 0.5).floor() * 0.5;
+        let count = s.iter().filter(|&&t| t < whole).count();
+        let empirical = count as f64 / whole;
+        assert!(
+            (empirical - 1_000.0).abs() / 1_000.0 < 0.05,
+            "cycle-average rate {empirical}"
+        );
+        // and the wave actually modulates: crest-half arrivals outnumber
+        // trough-half arrivals decisively at amplitude 1
+        let in_crest = s
+            .iter()
+            .filter(|&&t| {
+                let phase = t / 0.5 - (t / 0.5).floor();
+                (0.25..0.75).contains(&phase)
+            })
+            .count();
+        assert!(
+            in_crest as f64 > 0.7 * n as f64,
+            "crest half holds {in_crest} of {n}"
+        );
+    }
+
+    #[test]
+    fn completion_records_match_report_aggregates() {
+        let (p, spec) = pipeline(3);
+        let wl = Workload::new(p, 50)
+            .with_arrivals(Arrivals::Poisson {
+                rate: 200.0,
+                seed: 3,
+            })
+            .with_warmup(5);
+        let bare = run(std::slice::from_ref(&wl), &spec, &SimConfig::contended()).unwrap();
+        assert!(bare.tenants[0].completions.is_empty(), "off by default");
+        let r = run(&[wl], &spec, &SimConfig::contended().with_completions()).unwrap();
+        let t = &r.tenants[0];
+        assert_eq!(t.completions.len(), 50);
+        let mut lat_sum = 0.0;
+        let mut lat_max = 0.0f64;
+        for c in &t.completions[5..] {
+            lat_sum += c.latency_s();
+            lat_max = lat_max.max(c.latency_s());
+        }
+        assert_eq!((lat_sum / 45.0).to_bits(), t.mean_latency_s.to_bits());
+        assert_eq!(lat_max.to_bits(), t.max_latency_s.to_bits());
+        assert_eq!(t.completions[49].completed_s.to_bits(), t.total_s.to_bits());
+        for c in &t.completions {
+            assert!(c.completed_s >= c.arrival_s);
+            assert_eq!(c.batch, 1);
+        }
+    }
+
+    #[test]
+    fn bursty_and_diurnal_arrivals_drive_the_engine_deterministically() {
+        let (p, spec) = pipeline(4);
+        let wl = |a| Workload::new(p.clone(), 300).with_arrivals(a);
+        for arrivals in [
+            Arrivals::Mmpp {
+                low_rate: 100.0,
+                high_rate: 3_000.0,
+                mean_dwell_s: 0.02,
+                seed: 21,
+            },
+            Arrivals::Diurnal {
+                mean_rate: 400.0,
+                amplitude: 0.9,
+                period_s: 0.2,
+                seed: 21,
+            },
+        ] {
+            let a = run(&[wl(arrivals)], &spec, &SimConfig::contended()).unwrap();
+            let b = run(&[wl(arrivals)], &spec, &SimConfig::contended()).unwrap();
+            assert_eq!(a, b, "bitwise-deterministic per seed");
+            assert!(a.tenants[0].max_latency_s >= a.tenants[0].mean_latency_s);
         }
     }
 

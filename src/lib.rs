@@ -1,6 +1,6 @@
 //! # respect
 //!
-//! Facade crate for the RESPECT reproduction workspace. Re-exports the five
+//! Facade crate for the RESPECT reproduction workspace. Re-exports the six
 //! member crates so downstream users (and the `examples/` and `tests/`
 //! directories of this repository) can depend on a single crate.
 //!
@@ -8,6 +8,8 @@
 //! * [`nn`] — tape-based autodiff, LSTM, pointer attention, optimizers.
 //! * [`sched`] — schedules, packing DP, heuristic and exact schedulers.
 //! * [`tpu`] — pipelined Coral Edge TPU system simulator and compiler.
+//! * [`serve`] — SLO-aware online serving runtime (dynamic batching,
+//!   admission control, live re-partitioning) over the simulator.
 //! * [`core`] — the paper's contribution: the RL scheduling framework.
 //!
 //! ## Quickstart
@@ -34,4 +36,5 @@ pub use respect_core as core;
 pub use respect_graph as graph;
 pub use respect_nn as nn;
 pub use respect_sched as sched;
+pub use respect_serve as serve;
 pub use respect_tpu as tpu;

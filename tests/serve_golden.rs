@@ -1,0 +1,111 @@
+//! Serving-sweep golden regression: the quick `reproduce -- serve`
+//! sweep is pinned to a checked-in golden file, so any drift in the
+//! serving runtime (batcher, admission, re-partitioner), the simulator
+//! timing model, or the schedulers fails loudly instead of silently
+//! shifting the reported numbers.
+//!
+//! The sweep uses deterministic `Periodic` arrivals, so every metric is
+//! pure IEEE-754 arithmetic over the device constants and is compared
+//! **bitwise** (matching the Table I golden discipline).
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! RESPECT_REGEN_GOLDEN=1 cargo test --test serve_golden
+//! git diff tests/golden/serve_sweep.tsv   # review the drift!
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use respect_bench::experiments::{serve_sweep, ServeSweepRow};
+
+const GOLDEN_PATH: &str = "tests/golden/serve_sweep.tsv";
+
+fn render(rows: &[ServeSweepRow]) -> String {
+    let mut out = String::from(
+        "# model\tload\tpolicy\tadmitted\tshed\tswaps\tthr_bits\tp50_bits\tp99_bits\tthr_ips\tp99_ms\n\
+         # Regenerate with RESPECT_REGEN_GOLDEN=1 cargo test --test serve_golden\n",
+    );
+    for r in rows {
+        writeln!(
+            out,
+            "{}\t{:.1}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{:016x}\t{:.17e}\t{:.17e}",
+            r.name,
+            r.load,
+            r.policy,
+            r.admitted,
+            r.shed,
+            r.swaps,
+            r.throughput_ips.to_bits(),
+            r.p50_ms.to_bits(),
+            r.p99_ms.to_bits(),
+            r.throughput_ips,
+            r.p99_ms,
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn serve_sweep_matches_golden_file() {
+    let rows = serve_sweep(true);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let rendered = render(&rows);
+    if std::env::var_os("RESPECT_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("regenerated {GOLDEN_PATH} with {} rows", rows.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{GOLDEN_PATH} unreadable ({e}); regenerate it"));
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let (want, got) = (strip(&golden), strip(&rendered));
+    assert_eq!(
+        want.len(),
+        got.len(),
+        "golden file has {} rows, run produced {}",
+        want.len(),
+        got.len()
+    );
+    let drifted: Vec<String> = want
+        .iter()
+        .zip(&got)
+        .filter(|(w, g)| w != g)
+        .map(|(w, g)| format!("pinned: {w}\n   got: {g}"))
+        .collect();
+    assert!(
+        drifted.is_empty(),
+        "serving sweep drift against {GOLDEN_PATH} — review and regenerate if intentional:\n{}",
+        drifted.join("\n")
+    );
+}
+
+#[test]
+fn serve_sweep_sanity_runtime_dominates_static_under_overload() {
+    // independent of the pinned values: at 2x load the full runtime
+    // must deliver strictly higher goodput and a strictly lower p99
+    // than the static deployment, and only the runtime may shed
+    let rows = serve_sweep(true);
+    let find = |policy: &str| {
+        rows.iter()
+            .find(|r| r.name == "DenseNet121" && r.load == 2.0 && r.policy == policy)
+            .unwrap()
+    };
+    let (st, sv) = (find("static"), find("serve"));
+    assert_eq!(st.shed, 0, "open admission never sheds");
+    assert!(sv.shed > 0, "the runtime sheds under 2x overload");
+    assert!(sv.throughput_ips > st.throughput_ips);
+    assert!(
+        sv.p99_ms < st.p99_ms / 5.0,
+        "{} vs {}",
+        sv.p99_ms,
+        st.p99_ms
+    );
+}
