@@ -3,15 +3,22 @@
 //! ```text
 //! cargo run --release -p respect_bench --bin reproduce -- all --quick
 //! cargo run --release -p respect_bench --bin reproduce -- fig3
+//! cargo run --release -p respect_bench --bin reproduce -- deploy --scheduler exact --quick
 //! ```
 //!
 //! Experiments: `table1`, `fig3`, `fig4`, `fig5`, `ablation`, `sim`,
-//! `serve`, `all`. `--quick` restricts to three models, two stage
-//! counts, and a seconds-scale policy; omit it for the full
+//! `serve`, `deploy`, `all`. `--quick` restricts to three models, two
+//! stage counts, and a seconds-scale policy; omit it for the full
 //! 10/12-model sweep. `sim` sweeps the contended discrete-event
 //! simulator over arrival rates and tenant counts; `serve` sweeps the
 //! SLO-aware serving runtime over load × policy bundle (beyond the
-//! paper: the online half of a production deployment).
+//! paper: the online half of a production deployment); `deploy` runs
+//! the unified `Deployment` facade end to end.
+//!
+//! `--scheduler <name>` picks the deployed partitioner by registry name
+//! for the `sim`, `serve`, and `deploy` experiments (defaults:
+//! `param-balanced`, `op-balanced`, `respect`). Pass a bogus name to
+//! see the available ones.
 
 use std::time::Duration;
 
@@ -20,11 +27,33 @@ use respect_bench::experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let scheduler = match args.iter().position(|a| a == "--scheduler") {
+        Some(i) => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+            Some(v) => Some(v.clone()),
+            None => {
+                eprintln!("--scheduler requires a registry name (e.g. --scheduler exact)");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let scheduler = scheduler.as_deref();
     let which = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .find(|(i, a)| !(a.starts_with("--") || *i > 0 && args[i - 1] == "--scheduler"))
+        .map(|(_, a)| a.as_str())
         .unwrap_or("all");
+    if let Some(name) = scheduler {
+        let registry = respect::deploy::registry(&respect::tpu::DeviceSpec::coral());
+        if !registry.contains(name) {
+            eprintln!(
+                "unknown scheduler {name:?}; available: {}",
+                registry.names().join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     // per-instance exact-solver limit, like a practical ILP time limit
     let exact_budget = if quick {
         Duration::from_secs(5)
@@ -38,24 +67,44 @@ fn main() {
         "fig4" => fig4(quick, exact_budget),
         "fig5" => fig5(quick, exact_budget),
         "ablation" => ablation(quick),
-        "sim" => sim_sweep(quick),
-        "serve" => serve_sweep(quick),
+        "sim" => sim_sweep(quick, scheduler),
+        "serve" => serve_sweep(quick, scheduler),
+        "deploy" => deploy(quick, scheduler),
         "all" => {
             table1();
             fig3(quick, exact_budget);
             fig4(quick, exact_budget);
             fig5(quick, exact_budget);
             ablation(quick);
-            sim_sweep(quick);
-            serve_sweep(quick);
+            sim_sweep(quick, scheduler);
+            serve_sweep(quick, scheduler);
+            deploy(quick, scheduler);
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use table1|fig3|fig4|fig5|ablation|sim|serve|all"
+                "unknown experiment {other:?}; use \
+                 table1|fig3|fig4|fig5|ablation|sim|serve|deploy|all"
             );
             std::process::exit(2);
         }
     }
+}
+
+fn deploy(quick: bool, scheduler: Option<&str>) {
+    let scheduler = scheduler.unwrap_or("respect");
+    println!("\n== Deploy: schedule -> compile -> simulate via Deployment ========");
+    println!("partitioner: {scheduler}");
+    println!(
+        "{:<20} {:>3} {:>14} {:>10} {:>12} {:>10}",
+        "model", "k", "objective (s)", "inf/s", "streamed MB", "build (s)"
+    );
+    for r in experiments::deploy_sweep(quick, scheduler) {
+        println!(
+            "{:<20} {:>3} {:>14.6} {:>10.1} {:>12.2} {:>10.4}",
+            r.name, r.stages, r.objective_s, r.throughput_ips, r.streamed_mb, r.build_s
+        );
+    }
+    println!("reading: one fluent chain per row; 'build' is schedule + compile");
 }
 
 fn table1() {
@@ -154,13 +203,15 @@ fn fig5(quick: bool, budget: Duration) {
     println!("paper: 2.26% / 2.74% / 6.31% mean gap for 4 / 5 / 6 stages");
 }
 
-fn sim_sweep(quick: bool) {
+fn sim_sweep(quick: bool, scheduler: Option<&str>) {
+    let scheduler = scheduler.unwrap_or("param-balanced");
     println!("\n== Simulator sweep: contended bus, tenants x arrival rates =======");
+    println!("partitioner: {scheduler}");
     println!(
         "{:<20} {:>3} {:>7} {:>6} {:>10} {:>10} {:>12} {:>10}",
         "model", "T", "load", "solo", "offered", "achieved", "latency ms", "degr %"
     );
-    for r in experiments::sim_sweep(quick) {
+    for r in experiments::sim_sweep_with(quick, scheduler) {
         let load = if r.load == 0.0 {
             "closed".to_string()
         } else {
@@ -182,8 +233,10 @@ fn sim_sweep(quick: bool) {
     println!("(closed rows: Tx solo; open-loop rows: the offered rate)");
 }
 
-fn serve_sweep(quick: bool) {
+fn serve_sweep(quick: bool, scheduler: Option<&str>) {
+    let scheduler = scheduler.unwrap_or("op-balanced");
     println!("\n== Serving sweep: load x policy on the SLO-aware runtime ==========");
+    println!("partitioner: {scheduler}");
     println!(
         "{:<14} {:>5} {:>7} {:>6} {:>6} {:>6} {:>8} {:>9} {:>9} {:>10} {:>6}",
         "model",
@@ -198,7 +251,7 @@ fn serve_sweep(quick: bool) {
         "p999 ms",
         "swaps"
     );
-    for r in experiments::serve_sweep(quick) {
+    for r in experiments::serve_sweep_with(quick, scheduler) {
         println!(
             "{:<14} {:>4.0}% {:>7} {:>6} {:>6} {:>6.2} {:>8.1} {:>9.2} {:>9.2} {:>10.2} {:>6}",
             r.name,

@@ -1,10 +1,11 @@
 //! The paper's experiments as reusable row generators. Each function
 //! returns structured rows; the `reproduce` binary renders them.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use respect::deploy::{self, Deployment};
 use respect_graph::models;
-use respect_sched::balanced::OpBalanced;
+use respect_sched::registry::BuildOptions;
 use respect_sched::{order, pack, Scheduler};
 use respect_serve::{
     serve, AdmissionPolicy, BatchPolicy, DriftPolicy, Repartitioner, ServeConfig, ServeTenant,
@@ -273,6 +274,42 @@ pub struct SimSweepRow {
     pub degradation_pct: f64,
 }
 
+/// Resolves a partitioner name through the full deploy registry (the
+/// `respect_sched` builtins plus `"respect"`/`"profiling"`).
+///
+/// # Panics
+///
+/// Panics on unknown names, listing the available ones.
+fn registry_scheduler(name: &str, spec: &DeviceSpec) -> Box<dyn Scheduler> {
+    deploy::registry(spec)
+        .build(
+            name,
+            &BuildOptions::default()
+                .with_cost_model(spec.cost_model())
+                // anytime solvers (ilp/exact) get the practical per-model
+                // cap the figure experiments use; other entries ignore it
+                .with_time_budget(Duration::from_secs(10)),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Schedules `dag` with a sweep partitioner, or explains the skip
+/// (e.g. `brute` refuses models beyond its exhaustive-search cap).
+fn sweep_schedule(
+    partitioner: &dyn Scheduler,
+    name: &str,
+    dag: &respect_graph::Dag,
+    stages: usize,
+) -> Option<respect_sched::Schedule> {
+    match partitioner.schedule(dag, stages) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("skipping {name}: {} refused: {e}", partitioner.name());
+            None
+        }
+    }
+}
+
 /// Sweeps the contended discrete-event simulator over tenant counts and
 /// open-loop arrival rates for the Table I models (quick: three models).
 ///
@@ -280,17 +317,23 @@ pub struct SimSweepRow {
 /// needs no trained policy; the load axis is normalized per model to its
 /// solo closed-loop capacity.
 pub fn sim_sweep(quick: bool) -> Vec<SimSweepRow> {
+    sim_sweep_with(quick, "param-balanced")
+}
+
+/// As [`sim_sweep`], deployed with any registry partitioner.
+pub fn sim_sweep_with(quick: bool, scheduler: &str) -> Vec<SimSweepRow> {
     let spec = DeviceSpec::coral();
     let stages = 4;
     let requests = if quick { 200 } else { 600 };
     let tenant_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
     let loads: &[f64] = &[0.0, 0.5, 0.9]; // 0.0 = closed loop
     let cfg = SimConfig::contended();
+    let partitioner = registry_scheduler(scheduler, &spec);
     let mut rows = Vec::new();
     for (name, dag) in model_suite(quick) {
-        let schedule = respect_sched::balanced::ParamBalanced::new()
-            .schedule(&dag, stages)
-            .expect("valid schedule");
+        let Some(schedule) = sweep_schedule(partitioner.as_ref(), name, &dag, stages) else {
+            continue;
+        };
         let pipeline = compile::compile(&dag, &schedule, &spec).expect("compiles");
         // same warm-up window as the sweep rows, so the baseline and the
         // contended measurements are both steady state
@@ -395,6 +438,11 @@ pub struct ServeSweepRow {
 /// from pure IEEE-754 arithmetic and is pinned bitwise by the
 /// `serve_golden` regression test.
 pub fn serve_sweep(quick: bool) -> Vec<ServeSweepRow> {
+    serve_sweep_with(quick, "op-balanced")
+}
+
+/// As [`serve_sweep`], deployed with any registry partitioner.
+pub fn serve_sweep_with(quick: bool, scheduler: &str) -> Vec<ServeSweepRow> {
     let spec = DeviceSpec::coral();
     let stages = 6;
     let requests = if quick { 800 } else { 2_000 };
@@ -408,9 +456,12 @@ pub fn serve_sweep(quick: bool) -> Vec<ServeSweepRow> {
         ]
     };
     let cfg = ServeConfig::contended();
+    let partitioner = registry_scheduler(scheduler, &spec);
     let mut rows = Vec::new();
     for (name, dag) in suite {
-        let schedule = OpBalanced::new().schedule(&dag, stages).expect("valid");
+        let Some(schedule) = sweep_schedule(partitioner.as_ref(), name, &dag, stages) else {
+            continue;
+        };
         let pipeline = compile::compile(&dag, &schedule, &spec).expect("compiles");
         let closed = ServeTenant::new(pipeline.clone(), requests / 2).with_warmup(requests / 20);
         let static_cap =
@@ -472,6 +523,81 @@ pub fn serve_sweep(quick: bool) -> Vec<ServeSweepRow> {
                     swaps: t.swaps.len(),
                 });
             }
+        }
+    }
+    rows
+}
+
+/// One row of the `deploy` experiment: a model deployed end to end
+/// through the `Deployment` facade with a named registry partitioner.
+#[derive(Debug, Clone)]
+pub struct DeployRow {
+    /// Model name.
+    pub name: &'static str,
+    /// Pipeline stages.
+    pub stages: usize,
+    /// Abstract bottleneck objective, seconds.
+    pub objective_s: f64,
+    /// Simulated throughput over 1 000 inferences, inferences/s.
+    pub throughput_ips: f64,
+    /// Peak per-stage parameter bytes streamed per inference, MB.
+    pub streamed_mb: f64,
+    /// Wall-clock of schedule + compile, seconds.
+    pub build_s: f64,
+}
+
+/// Deploys the model suite end to end (`schedule → compile → simulate`)
+/// through the unified `Deployment` facade with the named registry
+/// partitioner — the one-command tour the CLI exposes as
+/// `reproduce -- deploy --scheduler <name>`.
+///
+/// Models a solver refuses (e.g. `brute` beyond its exhaustive-search
+/// cap) are skipped with a note on stderr.
+///
+/// # Panics
+///
+/// Panics on unknown scheduler names (listing the available ones).
+pub fn deploy_sweep(quick: bool, scheduler: &str) -> Vec<DeployRow> {
+    let spec = DeviceSpec::coral();
+    // warm the process-wide policy cache so `build_s` measures
+    // scheduling, not one-off smoke training
+    let _ = registry_scheduler(scheduler, &spec);
+    let mut rows = Vec::new();
+    for (name, dag) in model_suite(quick) {
+        for &stages in stage_counts(quick) {
+            let t0 = Instant::now();
+            let deployment = match Deployment::of(&dag)
+                .stages(stages)
+                .device(spec)
+                .partitioner(scheduler)
+                .time_budget(Duration::from_secs(10))
+                .build()
+            {
+                Ok(d) => d,
+                Err(e @ respect::Error::Registry(_)) => panic!("{e}"),
+                Err(e) => {
+                    eprintln!("skipping {name}@{stages}: {e}");
+                    continue;
+                }
+            };
+            let build_s = t0.elapsed().as_secs_f64();
+            let report = deployment.simulate(1_000).expect("nonzero inferences");
+            let streamed_mb = deployment
+                .pipeline()
+                .segments
+                .iter()
+                .map(|s| s.streamed_bytes)
+                .max()
+                .unwrap_or(0) as f64
+                / 1e6;
+            rows.push(DeployRow {
+                name,
+                stages,
+                objective_s: deployment.objective(),
+                throughput_ips: report.throughput_ips,
+                streamed_mb,
+                build_s,
+            });
         }
     }
     rows

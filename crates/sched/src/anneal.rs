@@ -29,6 +29,7 @@ use crate::Scheduler;
 
 /// Simulated-annealing pipeline scheduler.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct Annealing {
     model: CostModel,
     /// Number of proposed moves.
@@ -63,6 +64,12 @@ impl Annealing {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+}
+
+impl Default for Annealing {
+    fn default() -> Self {
+        Self::new(CostModel::default())
     }
 }
 

@@ -20,6 +20,7 @@ use crate::Scheduler;
 /// Operator-count-balancing contiguous partitioner — the behaviour of
 /// `edgetpu_compiler --num_segments N` at the time of the paper.
 #[derive(Debug, Clone, Copy, Default)]
+#[must_use]
 pub struct OpBalanced;
 
 impl OpBalanced {
@@ -48,6 +49,7 @@ impl Scheduler for OpBalanced {
 /// Parameter-balancing contiguous partitioner (the newer profiling-based
 /// Coral partitioner's initial guess).
 #[derive(Debug, Clone, Copy, Default)]
+#[must_use]
 pub struct ParamBalanced;
 
 impl ParamBalanced {

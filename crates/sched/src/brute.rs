@@ -9,7 +9,66 @@
 use respect_graph::{topo, Dag};
 
 use crate::cost::CostModel;
-use crate::schedule::Schedule;
+use crate::schedule::{Schedule, ScheduleError};
+use crate::Scheduler;
+
+/// [`Scheduler`] adapter over [`optimal_schedule`], for the registry and
+/// any other `dyn Scheduler` context.
+///
+/// Exhaustive search is exponential in the node count, so the adapter
+/// refuses graphs larger than [`BruteForce::max_nodes`] with a
+/// structured [`ScheduleError::SolverFailed`] instead of hanging.
+#[derive(Debug, Clone, Copy)]
+#[must_use]
+pub struct BruteForce {
+    model: CostModel,
+    /// Largest graph the adapter will enumerate (default 12 nodes).
+    pub max_nodes: usize,
+}
+
+impl BruteForce {
+    /// Creates the adapter with the default 12-node cap.
+    pub fn new(model: CostModel) -> Self {
+        BruteForce {
+            model,
+            max_nodes: 12,
+        }
+    }
+
+    /// Overrides the node-count cap. Every extra node multiplies the
+    /// search by the stage count; raise with care.
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+}
+
+impl Default for BruteForce {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+impl Scheduler for BruteForce {
+    fn name(&self) -> &str {
+        "brute force"
+    }
+
+    fn schedule(&self, dag: &Dag, num_stages: usize) -> Result<Schedule, ScheduleError> {
+        if num_stages == 0 {
+            return Err(ScheduleError::NoStages);
+        }
+        if dag.len() > self.max_nodes {
+            return Err(ScheduleError::SolverFailed(format!(
+                "graph has {} nodes; exhaustive search is capped at {} \
+                 (use `exact` for large graphs)",
+                dag.len(),
+                self.max_nodes
+            )));
+        }
+        Ok(optimal_schedule(dag, num_stages, &self.model).0)
+    }
+}
 
 /// The optimal bottleneck objective over **all** valid `num_stages`-stage
 /// schedules, by exhaustive enumeration.
@@ -169,6 +228,48 @@ mod tests {
         b.add_edge(y, z).unwrap();
         let dag = b.build().unwrap();
         let (s, _) = optimal_schedule(&dag, 2, &mem_model());
+        assert!(s.is_valid(&dag));
+    }
+
+    #[test]
+    fn adapter_matches_free_function() {
+        let dag = chain(&[3, 1, 4, 1, 5]);
+        let model = mem_model();
+        let via_adapter = BruteForce::new(model).schedule(&dag, 3).unwrap();
+        let (via_fn, obj) = optimal_schedule(&dag, 3, &model);
+        assert_eq!(via_adapter, via_fn);
+        assert!((model.objective(&dag, &via_adapter) - obj).abs() < 1e-18);
+        assert_eq!(BruteForce::new(model).name(), "brute force");
+    }
+
+    #[test]
+    fn adapter_rejects_oversized_graphs_without_panicking() {
+        let params: Vec<u64> = (0..20).map(|i| i + 1).collect();
+        let dag = chain(&params);
+        let err = BruteForce::new(mem_model()).schedule(&dag, 2).unwrap_err();
+        assert!(matches!(err, ScheduleError::SolverFailed(_)), "{err}");
+        assert!(err.to_string().contains("20 nodes"), "{err}");
+    }
+
+    #[test]
+    fn adapter_rejects_zero_stages() {
+        let dag = chain(&[1, 2]);
+        assert!(matches!(
+            BruteForce::new(mem_model()).schedule(&dag, 0),
+            Err(ScheduleError::NoStages)
+        ));
+    }
+
+    #[test]
+    fn adapter_cap_is_adjustable() {
+        let params: Vec<u64> = (0..14).map(|i| i + 1).collect();
+        let dag = chain(&params);
+        let model = mem_model();
+        assert!(BruteForce::new(model).schedule(&dag, 2).is_err());
+        let s = BruteForce::new(model)
+            .with_max_nodes(14)
+            .schedule(&dag, 2)
+            .unwrap();
         assert!(s.is_valid(&dag));
     }
 }

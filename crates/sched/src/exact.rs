@@ -127,6 +127,7 @@ pub struct ExactSolution {
 
 /// Exact branch-and-bound scheduler. See the [module docs](self).
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct ExactScheduler {
     model: CostModel,
     /// Optional wall-clock budget; on expiry the incumbent is returned.
@@ -176,7 +177,22 @@ impl ExactScheduler {
         self
     }
 
+    /// The configured wall-clock budget, if any.
+    #[must_use]
+    pub fn time_budget(&self) -> Option<Duration> {
+        self.time_budget
+    }
+}
+
+impl Default for ExactScheduler {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+impl ExactScheduler {
     /// The cost model being optimized.
+    #[must_use]
     pub fn model(&self) -> &CostModel {
         &self.model
     }

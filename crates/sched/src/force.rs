@@ -9,7 +9,69 @@
 //! accordingly. Included as a substrate; pipeline partitioning uses the
 //! solvers in [`crate::pack`] / [`crate::exact`].
 
-use respect_graph::{topo, Dag};
+use respect_graph::{topo, Dag, NodeId};
+
+use crate::cost::CostModel;
+use crate::pack;
+use crate::schedule::{Schedule, ScheduleError};
+use crate::Scheduler;
+
+/// [`Scheduler`] adapter projecting force-directed scheduling onto
+/// pipeline partitioning, for the registry and any other `dyn Scheduler`
+/// context.
+///
+/// FDS assigns control steps under a latency bound, not pipeline stages,
+/// so the adapter is a list-scheduling projection: run
+/// [`force_directed`] with latency `depth + 1 + slack` (the minimum
+/// feasible bound plus [`ForceDirected::slack`] steps of freedom), order
+/// nodes by `(step, node id)` — a topological order, since edges strictly
+/// increase steps — and cut that order into `num_stages` contiguous
+/// segments with the optimal packing DP ([`pack::pack`]).
+#[derive(Debug, Clone, Copy)]
+#[must_use]
+pub struct ForceDirected {
+    model: CostModel,
+    /// Latency slack beyond the critical path (default 2). More slack
+    /// widens the `[ASAP, ALAP]` frames FDS balances over, at quadratic
+    /// cost in frame width.
+    pub slack: usize,
+}
+
+impl ForceDirected {
+    /// Creates the adapter with the default slack of 2 steps.
+    pub fn new(model: CostModel) -> Self {
+        ForceDirected { model, slack: 2 }
+    }
+
+    /// Overrides the latency slack.
+    pub fn with_slack(mut self, slack: usize) -> Self {
+        self.slack = slack;
+        self
+    }
+}
+
+impl Default for ForceDirected {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+impl Scheduler for ForceDirected {
+    fn name(&self) -> &str {
+        "force-directed"
+    }
+
+    fn schedule(&self, dag: &Dag, num_stages: usize) -> Result<Schedule, ScheduleError> {
+        if num_stages == 0 {
+            return Err(ScheduleError::NoStages);
+        }
+        let latency = dag.depth() + 1 + self.slack;
+        let steps = force_directed(dag, latency);
+        let mut order: Vec<NodeId> = dag.node_ids().collect();
+        order.sort_by_key(|&v| (steps[v.index()], v));
+        Ok(pack::pack(dag, &order, num_stages, &self.model).0)
+    }
+}
 
 /// Assigns every node a control step in `0..latency`, minimizing the peak
 /// expected concurrency. Returns the step per node (indexed by node id).
@@ -157,5 +219,35 @@ mod tests {
     fn rejects_infeasible_latency() {
         let dag = dag_from_edges(3, &[(0, 1), (1, 2)]);
         let _ = force_directed(&dag, 2);
+    }
+
+    #[test]
+    fn adapter_produces_valid_schedules() {
+        let dag = dag_from_edges(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]);
+        let sched = ForceDirected::new(CostModel::coral());
+        for k in [1, 2, 3] {
+            let s = sched.schedule(&dag, k).unwrap();
+            assert!(s.is_valid(&dag), "k={k}");
+            assert_eq!(s.num_stages(), k);
+        }
+        assert_eq!(sched.name(), "force-directed");
+    }
+
+    #[test]
+    fn adapter_rejects_zero_stages() {
+        let dag = dag_from_edges(2, &[(0, 1)]);
+        assert!(matches!(
+            ForceDirected::new(CostModel::coral()).schedule(&dag, 0),
+            Err(ScheduleError::NoStages)
+        ));
+    }
+
+    #[test]
+    fn adapter_projected_order_is_topological() {
+        let dag = dag_from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        let steps = force_directed(&dag, dag.depth() + 3);
+        let mut order: Vec<NodeId> = dag.node_ids().collect();
+        order.sort_by_key(|&v| (steps[v.index()], v));
+        assert!(respect_graph::topo::is_topological_order(&dag, &order));
     }
 }

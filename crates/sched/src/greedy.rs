@@ -21,6 +21,7 @@ use crate::Scheduler;
 
 /// Greedy cost-threshold list scheduler.
 #[derive(Debug, Clone, Copy)]
+#[must_use]
 pub struct GreedyCost {
     model: CostModel,
     /// Multiplier on the even-split target before cutting (1.0 = cut as
@@ -53,6 +54,12 @@ impl GreedyCost {
     pub fn with_refinement(mut self, passes: usize) -> Self {
         self.refine_passes = passes;
         self
+    }
+}
+
+impl Default for GreedyCost {
+    fn default() -> Self {
+        Self::new(CostModel::default())
     }
 }
 

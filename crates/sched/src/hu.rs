@@ -10,6 +10,53 @@
 
 use respect_graph::{topo, Dag, NodeId};
 
+use crate::cost::CostModel;
+use crate::pack;
+use crate::schedule::{Schedule, ScheduleError};
+use crate::Scheduler;
+
+/// [`Scheduler`] adapter projecting Hu's algorithm onto pipeline
+/// partitioning, for the registry and any other `dyn Scheduler` context.
+///
+/// Hu's algorithm solves a sibling problem (unit-time tasks on identical
+/// processors), so the adapter is a list-scheduling projection: the
+/// level-priority execution order of [`hu_schedule`] with
+/// `machines = num_stages` — concatenating the time slots yields a
+/// topological order — is cut into `num_stages` contiguous segments by
+/// the optimal packing DP ([`pack::pack`]) under the cost model.
+#[derive(Debug, Clone, Copy)]
+#[must_use]
+pub struct HuList {
+    model: CostModel,
+}
+
+impl HuList {
+    /// Creates the adapter.
+    pub fn new(model: CostModel) -> Self {
+        HuList { model }
+    }
+}
+
+impl Default for HuList {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+impl Scheduler for HuList {
+    fn name(&self) -> &str {
+        "Hu list"
+    }
+
+    fn schedule(&self, dag: &Dag, num_stages: usize) -> Result<Schedule, ScheduleError> {
+        if num_stages == 0 {
+            return Err(ScheduleError::NoStages);
+        }
+        let order: Vec<NodeId> = hu_schedule(dag, num_stages).into_iter().flatten().collect();
+        Ok(pack::pack(dag, &order, num_stages, &self.model).0)
+    }
+}
+
 /// Schedules unit-time tasks on `machines` processors; returns the nodes
 /// executed at each time step (each step runs at most `machines` nodes).
 ///
@@ -122,5 +169,34 @@ mod tests {
     fn zero_machines_panics() {
         let dag = dag_from_edges(1, &[]);
         let _ = hu_schedule(&dag, 0);
+    }
+
+    #[test]
+    fn adapter_produces_valid_schedules() {
+        let dag = dag_from_edges(7, &[(0, 4), (1, 4), (2, 5), (3, 5), (4, 6), (5, 6)]);
+        let sched = HuList::new(CostModel::coral());
+        for k in [1, 2, 3] {
+            let s = sched.schedule(&dag, k).unwrap();
+            assert!(s.is_valid(&dag), "k={k}");
+            assert_eq!(s.num_stages(), k);
+        }
+        assert_eq!(sched.name(), "Hu list");
+    }
+
+    #[test]
+    fn adapter_rejects_zero_stages() {
+        let dag = dag_from_edges(2, &[(0, 1)]);
+        assert!(matches!(
+            HuList::new(CostModel::coral()).schedule(&dag, 0),
+            Err(ScheduleError::NoStages)
+        ));
+    }
+
+    #[test]
+    fn adapter_order_is_the_hu_execution_order() {
+        let dag = dag_from_edges(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]);
+        let order: Vec<NodeId> = hu_schedule(&dag, 3).into_iter().flatten().collect();
+        assert!(topo::is_topological_order(&dag, &order));
+        assert_eq!(order.len(), dag.len());
     }
 }

@@ -39,6 +39,7 @@ pub struct IlpSolution {
 
 /// Generic branch-and-bound scheduler (CPLEX stand-in).
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct IlpScheduler {
     model: CostModel,
     /// Wall-clock limit, as passed to any practical ILP solver.
@@ -59,7 +60,15 @@ impl IlpScheduler {
         self.time_budget = Some(budget);
         self
     }
+}
 
+impl Default for IlpScheduler {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+impl IlpScheduler {
     /// Runs the branch-and-bound.
     ///
     /// # Errors

@@ -91,8 +91,8 @@ impl<'a> IncrementalEvaluator<'a> {
     ///
     /// # Panics
     ///
-    /// Never panics: stages are kept in range by [`move_node`]
-    /// (IncrementalEvaluator::move_node).
+    /// Never panics: stages are kept in range by
+    /// [`move_node`](IncrementalEvaluator::move_node).
     pub fn to_schedule(&self) -> Schedule {
         Schedule::new(self.stage_of.clone(), self.num_stages).expect("stages stay in range")
     }

@@ -28,7 +28,9 @@
 //!   schedule, the hot-swap entry point of the online serving runtime;
 //! * [`repair`] — the paper's post-inference processing;
 //! * [`brute`] — exhaustive optimum for small graphs, used to certify
-//!   [`exact`] in tests.
+//!   [`exact`] in tests;
+//! * [`registry`] — every scheduler above behind a stable string name
+//!   (`"param-balanced"`, `"exact"`, ...), extensible by higher layers.
 //!
 //! # Example
 //!
@@ -57,6 +59,7 @@ pub mod ilp;
 pub mod incremental;
 pub mod order;
 pub mod pack;
+pub mod registry;
 pub mod repair;
 pub mod repartition;
 pub mod schedule;

@@ -1,7 +1,7 @@
-//! Run every scheduler in the workspace on one model and compare
+//! Run every scheduler in the registry on one model and compare
 //! abstract objective, simulated throughput, and solving time — a
 //! one-screen tour of the paper's trade-off space (heuristics vs
-//! metaheuristics vs exact vs RL).
+//! metaheuristics vs exact vs RL), driven entirely by name.
 //!
 //! ```text
 //! cargo run --release --example compare_schedulers -- [model] [stages]
@@ -9,10 +9,10 @@
 
 use std::time::{Duration, Instant};
 
-use respect::core::{train_policy, RespectScheduler, TrainConfig};
+use respect::deploy::{self, Deployment};
 use respect::graph::models;
-use respect::sched::{anneal, balanced, exact, greedy, ilp, Scheduler};
-use respect::tpu::{compile, device::DeviceSpec, exec, profiling};
+use respect::sched::registry::BuildOptions;
+use respect::tpu::device::DeviceSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wanted = std::env::args().nth(1).unwrap_or_else(|| "Xception".into());
@@ -25,35 +25,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|(n, _)| n.eq_ignore_ascii_case(&wanted))
         .ok_or_else(|| format!("unknown model {wanted:?}"))?;
     let spec = DeviceSpec::coral();
-    let model = spec.cost_model();
+    let registry = deploy::registry(&spec);
+    let options = BuildOptions::default()
+        .with_cost_model(spec.cost_model())
+        .with_time_budget(Duration::from_secs(10));
 
-    let mut cfg = TrainConfig::smoke_test();
-    cfg.dataset.graphs = 16;
-    let respect = RespectScheduler::new(train_policy(&cfg)?).with_cost_model(model);
-    let schedulers: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(balanced::OpBalanced::new()),
-        Box::new(balanced::ParamBalanced::new()),
-        Box::new(profiling::ProfilingPartitioner::new(spec)),
-        Box::new(greedy::GreedyCost::new(model)),
-        Box::new(anneal::Annealing::new(model).with_iterations(3_000)),
-        Box::new(ilp::IlpScheduler::new(model).with_time_budget(Duration::from_secs(10))),
-        Box::new(exact::ExactScheduler::new(model)),
-        Box::new(respect),
-    ];
+    // Warm the process-wide RESPECT policy cache so the timed loop below
+    // measures scheduling, not one-off smoke training.
+    let _ = registry.build("respect", &options)?;
 
     println!("{name}, {stages}-stage pipeline\n");
     println!(
         "{:<28} {:>12} {:>12} {:>12}",
         "scheduler", "objective(s)", "inf/s (sim)", "solve (s)"
     );
-    for s in &schedulers {
+    for key in registry.names() {
+        let scheduler = registry.build(&key, &options)?;
+        // time the solver alone; compile/simulate happen on the facade
         let t0 = Instant::now();
-        let schedule = s.schedule(&dag, stages)?;
+        let solved = scheduler.schedule(&dag, stages);
         let dt = t0.elapsed().as_secs_f64();
-        let obj = model.objective(&dag, &schedule);
-        let pipeline = compile::compile(&dag, &schedule, &spec)?;
-        let ips = exec::simulate(&pipeline, &spec, 1_000)?.throughput_ips;
-        println!("{:<28} {:>12.6} {:>12.1} {:>12.4}", s.name(), obj, ips, dt);
+        match solved {
+            Ok(_) => {
+                let d = Deployment::of(&dag)
+                    .stages(stages)
+                    .device(spec)
+                    .scheduler(scheduler)
+                    .build()?;
+                let ips = d.simulate(1_000)?.throughput_ips;
+                println!(
+                    "{:<28} {:>12.6} {:>12.1} {:>12.4}",
+                    format!("{key} ({})", d.scheduler_name()),
+                    d.objective(),
+                    ips,
+                    dt
+                );
+            }
+            // `brute` refuses graphs this large instead of hanging
+            Err(e) => println!("{key:<28} {:>38}", format!("skipped: {e}")),
+        }
     }
     println!("\nlower objective should mean higher simulated throughput, up to");
     println!("the paper's 'performance modeling miscorrelation' (Sec. IV-A)");

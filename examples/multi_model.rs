@@ -7,11 +7,10 @@
 //! cargo run --release --example multi_model
 //! ```
 
+use respect::deploy::Deployment;
 use respect::graph::{models, Dag};
-use respect::sched::{balanced, exact, Scheduler};
-use respect::tpu::{compile, device::DeviceSpec, exec};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), respect::Error> {
     let fused = Dag::disjoint_union(&[models::xception(), models::densenet121()]);
     println!(
         "fused Xception + DenseNet121: |V|={}, {:.1} MB parameters",
@@ -19,21 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fused.total_param_bytes() as f64 / 1e6
     );
 
-    let spec = DeviceSpec::coral();
-    let model = spec.cost_model();
     let stages = 4;
-    for (label, schedule) in [
-        (
-            "op-balanced compiler",
-            balanced::OpBalanced::new().schedule(&fused, stages)?,
-        ),
-        (
-            "exact co-schedule",
-            exact::ExactScheduler::new(model).schedule(&fused, stages)?,
-        ),
+    for (label, partitioner) in [
+        ("op-balanced compiler", "op-balanced"),
+        ("exact co-schedule", "exact"),
     ] {
-        let pipeline = compile::compile(&fused, &schedule, &spec)?;
-        let report = exec::simulate(&pipeline, &spec, 1_000)?;
+        let deployment = Deployment::of(&fused)
+            .stages(stages)
+            .partitioner(partitioner)
+            .build()?;
+        let report = deployment.simulate(1_000)?;
         println!(
             "  {label:<22} {:>8.1} inf/s (both models per inference)",
             report.throughput_ips
@@ -44,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let stages_used: std::collections::BTreeSet<usize> = fused
                 .iter()
                 .filter(|(_, n)| n.name.starts_with(&prefix))
-                .map(|(id, _)| schedule.stage(id))
+                .map(|(id, _)| deployment.schedule().stage(id))
                 .collect();
             println!("    model {m} occupies stages {stages_used:?}");
         }

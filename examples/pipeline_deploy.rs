@@ -9,9 +9,9 @@
 //! `model` is any Table I name (default: ResNet152).
 
 use respect::core::{train_policy, RespectScheduler, TrainConfig};
+use respect::deploy::Deployment;
 use respect::graph::models;
-use respect::sched::Scheduler as _;
-use respect::tpu::{compile, device::DeviceSpec, energy, exec, EdgeTpuCompiler};
+use respect::tpu::{device::DeviceSpec, energy, EdgeTpuCompiler};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wanted = std::env::args()
@@ -32,21 +32,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = DeviceSpec::coral();
     let mut cfg = TrainConfig::smoke_test();
     cfg.dataset.graphs = 16;
-    let respect = RespectScheduler::new(train_policy(&cfg)?).with_cost_model(spec.cost_model());
-    let compiler = EdgeTpuCompiler::fast(spec);
+    let policy = train_policy(&cfg)?;
 
     for stages in [4usize, 5, 6] {
         println!("\n=== {stages}-stage pipeline ===");
-        for (label, schedule) in [
-            ("EdgeTPU compiler", compiler.schedule(&dag, stages)?),
-            ("RESPECT", respect.schedule(&dag, stages)?),
-        ] {
-            let pipeline = compile::compile(&dag, &schedule, &spec)?;
-            let report = exec::simulate(&pipeline, &spec, 1_000)?;
-            let joules = energy::estimate(&pipeline, &spec, &report);
-            let spilled: u64 = pipeline.segments.iter().map(|s| s.streamed_bytes).sum();
+        let deployments = [
+            Deployment::of(&dag)
+                .stages(stages)
+                .device(spec)
+                .scheduler(Box::new(EdgeTpuCompiler::fast(spec)))
+                .build()?,
+            Deployment::of(&dag)
+                .stages(stages)
+                .device(spec)
+                .scheduler(Box::new(
+                    RespectScheduler::new(policy.clone()).with_cost_model(spec.cost_model()),
+                ))
+                .build()?,
+        ];
+        for d in &deployments {
+            let report = d.simulate(1_000)?;
+            let joules = energy::estimate(d.pipeline(), d.device(), &report);
+            let spilled: u64 = d.pipeline().segments.iter().map(|s| s.streamed_bytes).sum();
             println!(
-                "  {label:<18} {:>8.1} inf/s | {:>6.2} MB streamed/inf | {:>6.2} mJ/inf",
+                "  {:<18} {:>8.1} inf/s | {:>6.2} MB streamed/inf | {:>6.2} mJ/inf",
+                d.scheduler_name(),
                 report.throughput_ips,
                 spilled as f64 / 1e6,
                 joules.per_inference_j * 1e3,

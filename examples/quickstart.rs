@@ -1,16 +1,17 @@
 //! Quickstart: train a small RESPECT policy on synthetic graphs and
-//! schedule ResNet-50 onto a 4-stage pipelined Edge TPU system.
+//! deploy ResNet-50 onto a 4-stage pipelined Edge TPU system with the
+//! unified `Deployment` API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use respect::core::{train_policy, RespectScheduler, TrainConfig};
+use respect::deploy::Deployment;
 use respect::graph::models;
-use respect::sched::Scheduler as _;
-use respect::tpu::{compile, device::DeviceSpec, exec};
+use respect::tpu::DeviceSpec;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), respect::Error> {
     // 1. Train on synthetic 30-node graphs only (the paper's
     //    data-independent setup). `laptop()` takes a couple of minutes;
     //    swap in `TrainConfig::smoke_test()` for a seconds-scale demo.
@@ -22,17 +23,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let policy = train_policy(&config)?;
 
-    // 2. Schedule a real ImageNet model the policy has never seen.
+    // 2. Deploy a real ImageNet model the policy has never seen:
+    //    schedule + compile in one chained expression.
     let dag = models::resnet50();
-    let scheduler = RespectScheduler::new(policy);
     let stages = 4;
-    let schedule = scheduler.schedule(&dag, stages)?;
-    assert!(schedule.is_valid(&dag));
+    let deployment = Deployment::of(&dag)
+        .stages(stages)
+        .device(DeviceSpec::coral())
+        .scheduler(Box::new(RespectScheduler::new(policy)))
+        .build()?;
+    assert!(deployment.schedule().is_valid(&dag));
 
     println!("\nResNet-50 on a {stages}-stage pipeline:");
-    let spec = DeviceSpec::coral();
-    let pipeline = compile::compile(&dag, &schedule, &spec)?;
-    for seg in &pipeline.segments {
+    for seg in &deployment.pipeline().segments {
         println!(
             "  stage {}: {:>3} ops, {:>5.1} MB params ({:>4.1} MB streamed), {:>6.1} KB in",
             seg.stage,
@@ -44,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. Simulate 1 000 pipelined inferences (the paper's Fig. 4 metric).
-    let report = exec::simulate(&pipeline, &spec, 1_000)?;
+    let report = deployment.simulate(1_000)?;
     println!(
         "\n1000 inferences: {:.3} s total, {:.1} inf/s, bottleneck stage {}",
         report.total_s, report.throughput_ips, report.bottleneck_stage

@@ -1,4 +1,4 @@
-//! SLO-aware online serving quickstart.
+//! SLO-aware online serving quickstart, on the unified `Deployment` API.
 //!
 //! Deploys DenseNet-121 on a 6-TPU chain with a deliberately weak
 //! partition (op-count balancing), offers it a bursty MMPP request
@@ -16,24 +16,23 @@
 //! cargo run --release --example serve_slo
 //! ```
 
+use respect::deploy::Deployment;
 use respect::graph::models;
-use respect::sched::{balanced::OpBalanced, Scheduler};
-use respect::serve::{
-    serve, AdmissionPolicy, BatchPolicy, DriftPolicy, Repartitioner, ServeConfig, ServeTenant,
-};
-use respect::tpu::{compile, device::DeviceSpec, sim::Arrivals};
+use respect::serve::{AdmissionPolicy, BatchPolicy, DriftPolicy, ServeConfig, ServeTenant};
+use respect::tpu::sim::Arrivals;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), respect::Error> {
     let dag = models::densenet121();
-    let spec = DeviceSpec::coral();
-    let schedule = OpBalanced::new().schedule(&dag, 6)?;
-    let pipeline = compile::compile(&dag, &schedule, &spec)?;
+    let deployment = Deployment::of(&dag)
+        .stages(6)
+        .partitioner("op-balanced")
+        .build()?;
     let cfg = ServeConfig::contended();
     let slo_p99_ms = 250.0;
 
     // static closed-loop capacity of the deployed partition
-    let closed = ServeTenant::new(pipeline.clone(), 600).with_warmup(60);
-    let static_cap = serve(&[closed], &spec, &cfg)?.tenants[0].throughput_ips;
+    let closed = deployment.tenant(600).with_warmup(60);
+    let static_cap = deployment.serve(&[closed], &cfg)?.tenants[0].throughput_ips;
     println!("deployed partition: op-balanced, 6 stages, capacity {static_cap:.0} ips");
     println!("SLO: p99 <= {slo_p99_ms:.0} ms\n");
 
@@ -44,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mean_dwell_s: 0.5,
         seed: 1713,
     };
-    let repartitioner = Repartitioner::new(dag.clone(), spec.cost_model()).with_policy(
+    let repartitioner = deployment.repartitioner().with_policy(
         DriftPolicy::new()
             .with_window_jobs(24)
             .with_threshold(0.08)
@@ -55,8 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<22} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6}",
         "configuration", "p50 ms", "p99 ms", "thr ips", "shed", "batch", "swaps"
     );
-    let show = |name: &str, tenant: ServeTenant| -> Result<(), Box<dyn std::error::Error>> {
-        let t = serve(&[tenant], &spec, &cfg)?.tenants.remove(0);
+    let show = |name: &str, tenant: ServeTenant| -> Result<(), respect::Error> {
+        let t = deployment.serve(&[tenant], &cfg)?.tenants.remove(0);
         let slo = if t.p99_s() * 1e3 <= slo_p99_ms {
             "meets SLO"
         } else {
@@ -78,15 +77,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. frozen compiled schedule
     show(
         "static schedule",
-        ServeTenant::new(pipeline.clone(), n)
-            .with_arrivals(bursty)
-            .with_warmup(100),
+        deployment.tenant(n).with_arrivals(bursty).with_warmup(100),
     )?;
 
     // 2. the serving runtime on the same stream
     show(
         "serving runtime",
-        ServeTenant::new(pipeline.clone(), n)
+        deployment
+            .tenant(n)
             .with_arrivals(bursty)
             .with_warmup(100)
             .with_batcher(BatchPolicy::new(8, 5e-3))
@@ -100,7 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     show(
         "2x overload, open",
-        ServeTenant::new(pipeline.clone(), n)
+        deployment
+            .tenant(n)
             .with_arrivals(overload)
             .with_warmup(100)
             .with_batcher(BatchPolicy::new(8, 5e-3))
@@ -108,7 +107,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     show(
         "2x overload, shedding",
-        ServeTenant::new(pipeline, n)
+        deployment
+            .tenant(n)
             .with_arrivals(overload)
             .with_warmup(100)
             .with_batcher(BatchPolicy::new(8, 5e-3))

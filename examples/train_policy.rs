@@ -9,7 +9,7 @@ use respect::core::model_io;
 use respect::core::train::Trainer;
 use respect::core::TrainConfig;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), respect::Error> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let graphs: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(128);
     let epochs: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3);
@@ -51,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let policy = trainer.into_policy();
     model_io::save_policy(&out, &policy)?;
     println!("saved weights to {out}");
-    println!("use them via the RESPECT_POLICY env var or model_io::load_policy");
+    println!("use them via the RESPECT_POLICY env var (picked up by the");
+    println!("deploy registry's \"respect\" entry) or model_io::load_policy");
     Ok(())
 }

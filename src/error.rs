@@ -1,0 +1,132 @@
+//! The workspace-wide error type.
+//!
+//! Every member crate defines its own error enum close to the failure it
+//! describes (`ScheduleError`, `TrainError`, `GraphError`,
+//! `WeightIoError`, `SimError`, `ServeError`, `RegistryError`). User
+//! code driving the whole pipeline used to juggle all of them; [`Error`]
+//! unifies them behind one `From`-convertible type so a full
+//! profile → schedule → compile → simulate/serve program is written with
+//! plain `?`:
+//!
+//! ```
+//! use respect::deploy::Deployment;
+//! use respect::graph::models;
+//!
+//! fn throughput() -> Result<f64, respect::Error> {
+//!     let dag = models::xception();
+//!     let deployment = Deployment::of(&dag).stages(4).build()?; // ScheduleError
+//!     let report = deployment.simulate(100)?; // SimError
+//!     Ok(report.throughput_ips)
+//! }
+//! # assert!(throughput().unwrap() > 0.0);
+//! ```
+//!
+//! Each variant preserves the source error (exposed through
+//! [`std::error::Error::source`]), so nothing is lost over matching on
+//! the concrete enums.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use respect_core::train::TrainError;
+use respect_graph::GraphError;
+use respect_nn::serialize::WeightIoError;
+use respect_sched::registry::RegistryError;
+use respect_sched::ScheduleError;
+use respect_serve::ServeError;
+use respect_tpu::sim::SimError;
+
+/// Any failure from any subsystem of the workspace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// DAG construction or query failed ([`respect_graph::GraphError`]).
+    Graph(GraphError),
+    /// Scheduling or schedule validation failed
+    /// ([`respect_sched::ScheduleError`]).
+    Schedule(ScheduleError),
+    /// A registry name did not resolve
+    /// ([`respect_sched::registry::RegistryError`]).
+    Registry(RegistryError),
+    /// Policy training failed ([`respect_core::train::TrainError`]).
+    Train(TrainError),
+    /// Weight-file I/O failed
+    /// ([`respect_nn::serialize::WeightIoError`]).
+    WeightIo(WeightIoError),
+    /// The discrete-event simulator rejected a workload
+    /// ([`respect_tpu::sim::SimError`]).
+    Sim(SimError),
+    /// The serving runtime rejected a tenant
+    /// ([`respect_serve::ServeError`]).
+    Serve(ServeError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Graph(e) => write!(f, "graph error: {e}"),
+            Error::Schedule(e) => write!(f, "schedule error: {e}"),
+            Error::Registry(e) => write!(f, "scheduler registry error: {e}"),
+            Error::Train(e) => write!(f, "training error: {e}"),
+            Error::WeightIo(e) => write!(f, "weight i/o error: {e}"),
+            Error::Sim(e) => write!(f, "simulation error: {e}"),
+            Error::Serve(e) => write!(f, "serving error: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Graph(e) => Some(e),
+            Error::Schedule(e) => Some(e),
+            Error::Registry(e) => Some(e),
+            Error::Train(e) => Some(e),
+            Error::WeightIo(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for Error {
+    fn from(e: GraphError) -> Self {
+        Error::Graph(e)
+    }
+}
+
+impl From<ScheduleError> for Error {
+    fn from(e: ScheduleError) -> Self {
+        Error::Schedule(e)
+    }
+}
+
+impl From<RegistryError> for Error {
+    fn from(e: RegistryError) -> Self {
+        Error::Registry(e)
+    }
+}
+
+impl From<TrainError> for Error {
+    fn from(e: TrainError) -> Self {
+        Error::Train(e)
+    }
+}
+
+impl From<WeightIoError> for Error {
+    fn from(e: WeightIoError) -> Self {
+        Error::WeightIo(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        Error::Serve(e)
+    }
+}

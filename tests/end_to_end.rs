@@ -1,10 +1,12 @@
 //! End-to-end integration: synthetic training -> real-model scheduling ->
-//! simulation, spanning all five crates through the facade.
+//! simulation, spanning all five crates through the facade's unified
+//! `Deployment` API.
 
 use respect::core::{model_io, train_policy, RespectScheduler, TrainConfig};
+use respect::deploy::Deployment;
 use respect::graph::{models, SyntheticConfig, SyntheticSampler};
 use respect::sched::Scheduler as _;
-use respect::tpu::{compile, device::DeviceSpec, energy, exec};
+use respect::tpu::{device::DeviceSpec, energy};
 
 fn quick_policy() -> respect::core::PtrNetPolicy {
     let mut cfg = TrainConfig::smoke_test();
@@ -13,20 +15,23 @@ fn quick_policy() -> respect::core::PtrNetPolicy {
 }
 
 #[test]
-fn train_schedule_simulate_roundtrip() {
+fn train_schedule_simulate_roundtrip() -> Result<(), respect::Error> {
     let policy = quick_policy();
-    let scheduler = RespectScheduler::new(policy);
     let dag = models::xception();
     let spec = DeviceSpec::coral();
     for stages in [4usize, 6] {
-        let schedule = scheduler.schedule(&dag, stages).unwrap();
-        assert!(schedule.is_valid(&dag));
-        let pipeline = compile::compile(&dag, &schedule, &spec).unwrap();
-        let report = exec::simulate(&pipeline, &spec, 100).unwrap();
+        let deployment = Deployment::of(&dag)
+            .stages(stages)
+            .device(spec)
+            .scheduler(Box::new(RespectScheduler::new(policy.clone())))
+            .build()?;
+        assert!(deployment.schedule().is_valid(&dag));
+        let report = deployment.simulate(100)?;
         assert!(report.throughput_ips > 0.0);
-        let joules = energy::estimate(&pipeline, &spec, &report);
+        let joules = energy::estimate(deployment.pipeline(), deployment.device(), &report);
         assert!(joules.per_inference_j > 0.0);
     }
+    Ok(())
 }
 
 #[test]
@@ -50,12 +55,15 @@ fn generalizes_from_synthetic_training_to_every_table1_model() {
     // the paper's generalizability claim, end to end: trained only on
     // synthetic graphs, the policy must produce valid schedules for all
     // ten real models without retraining.
-    let scheduler = RespectScheduler::new(quick_policy());
+    let policy = quick_policy();
     for (name, dag) in models::table1() {
-        let schedule = scheduler.schedule(&dag, 4).unwrap();
-        assert!(schedule.is_valid(&dag), "{name}");
-        // every stage set is contiguous-feasible: validated above; also
-        // check all stages are within range and the assignment is total
-        assert_eq!(schedule.stage_of().len(), dag.len(), "{name}");
+        let deployment = Deployment::of(&dag)
+            .stages(4)
+            .scheduler(Box::new(RespectScheduler::new(policy.clone())))
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(deployment.schedule().is_valid(&dag), "{name}");
+        // the assignment is total and every stage index is in range
+        assert_eq!(deployment.schedule().stage_of().len(), dag.len(), "{name}");
     }
 }

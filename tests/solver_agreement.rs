@@ -3,6 +3,7 @@
 //! mutually consistent on graphs small enough to enumerate.
 
 use respect::graph::{SyntheticConfig, SyntheticSampler};
+use respect::sched::registry::{self, BuildOptions};
 use respect::sched::{
     anneal, balanced, brute, exact, greedy, ilp, pack, repair, CostModel, Scheduler,
 };
@@ -69,6 +70,39 @@ fn heuristics_are_bounded_below_by_the_optimum() {
                 "{} beat the optimum: {obj} < {optimum}",
                 h.name()
             );
+        }
+    }
+}
+
+#[test]
+fn every_registry_scheduler_is_bounded_below_by_the_optimum() {
+    // the registry's trait adapters (hu, force, brute, ...) must be
+    // sound: never below the exhaustive optimum, and brute must hit it.
+    let model = CostModel::coral();
+    let opts = BuildOptions::default()
+        .with_cost_model(model)
+        .with_iterations(300);
+    for seed in 30..32 {
+        let dag = small_dag(seed, 9);
+        let stages = 3;
+        let optimum = brute::optimal_objective(&dag, stages, &model);
+        for name in registry::names() {
+            let s = registry::build(&name, &opts)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .schedule(&dag, stages)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(s.is_valid(&dag), "{name}");
+            let obj = model.objective(&dag, &s);
+            assert!(
+                obj >= optimum - 1e-12,
+                "{name} beat the optimum: {obj} < {optimum}"
+            );
+            if name == "brute" || name == "exact" || name == "ilp" {
+                assert!(
+                    (obj - optimum).abs() <= 1e-9 * optimum.max(1e-12),
+                    "{name} must be optimal: {obj} vs {optimum}"
+                );
+            }
         }
     }
 }
