@@ -7,13 +7,18 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig3`, `fig4`, `fig5`, `ablation`, `sim`,
-//! `serve`, `deploy`, `all`. `--quick` restricts to three models, two
-//! stage counts, and a seconds-scale policy; omit it for the full
-//! 10/12-model sweep. `sim` sweeps the contended discrete-event
-//! simulator over arrival rates and tenant counts; `serve` sweeps the
-//! SLO-aware serving runtime over load × policy bundle (beyond the
-//! paper: the online half of a production deployment); `deploy` runs
-//! the unified `Deployment` facade end to end.
+//! `serve`, `deploy`, `soak`, `all`. `--quick` restricts to three
+//! models, two stage counts, and a seconds-scale policy; omit it for
+//! the full 10/12-model sweep. `sim` sweeps the contended
+//! discrete-event simulator over arrival rates and tenant counts;
+//! `serve` sweeps the SLO-aware serving runtime over load × policy
+//! bundle (beyond the paper: the online half of a production
+//! deployment); `deploy` runs the unified `Deployment` facade end to
+//! end; `soak` runs the long-horizon event-engine benchmark
+//! (binary heap vs calendar queue, bitwise cross-checked) and writes
+//! `BENCH_soak.json` (`--out <path>` overrides, `--threads <n>` pins
+//! the parallel sweep width). `soak` is not part of `all`: it measures
+//! the engine, not the paper.
 //!
 //! `--scheduler <name>` picks the deployed partitioner by registry name
 //! for the `sim`, `serve`, and `deploy` experiments (defaults:
@@ -41,7 +46,11 @@ fn main() {
     let which = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !(a.starts_with("--") || *i > 0 && args[i - 1] == "--scheduler"))
+        .find(|(i, a)| {
+            let value_of_flag =
+                *i > 0 && ["--scheduler", "--out", "--threads"].contains(&args[i - 1].as_str());
+            !(a.starts_with("--") || value_of_flag)
+        })
         .map(|(_, a)| a.as_str())
         .unwrap_or("all");
     if let Some(name) = scheduler {
@@ -70,6 +79,7 @@ fn main() {
         "sim" => sim_sweep(quick, scheduler),
         "serve" => serve_sweep(quick, scheduler),
         "deploy" => deploy(quick, scheduler),
+        "soak" => soak_bench(quick, &args),
         "all" => {
             table1();
             fig3(quick, exact_budget);
@@ -83,9 +93,73 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; use \
-                 table1|fig3|fig4|fig5|ablation|sim|serve|deploy|all"
+                 table1|fig3|fig4|fig5|ablation|sim|serve|deploy|soak|all"
             );
             std::process::exit(2);
+        }
+    }
+}
+
+fn soak_bench(quick: bool, args: &[String]) {
+    use respect_bench::soak;
+
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+    };
+    let threads = match flag_value("--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--threads requires a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+        None => 0,
+    };
+    let out = flag_value("--out").map_or("BENCH_soak.json", |v| v.as_str());
+
+    println!("\n== Soak: long-horizon event engine, heap vs calendar =============");
+    let cfg = soak::SoakConfig { quick, threads };
+    let r = soak::soak(&cfg);
+    println!(
+        "{:<38} {:>6} {:>10} {:>10} {:>11} {:>11} {:>8}",
+        "point", "10^6ev", "sim (s)", "heap (s)", "heap Mev/s", "cal Mev/s", "speedup"
+    );
+    for p in &r.points {
+        println!(
+            "{:<38} {:>6.1} {:>10.1} {:>10.3} {:>11.2} {:>11.2} {:>7.2}x",
+            p.label,
+            p.events as f64 / 1e6,
+            p.simulated_s,
+            p.heap_wall_s,
+            p.heap_eps() / 1e6,
+            p.calendar_eps() / 1e6,
+            p.engine_speedup()
+        );
+    }
+    println!(
+        "total: {:.1}M events over {:.2} simulated hours; every point bitwise-identical across queue kinds",
+        r.total_events as f64 / 1e6,
+        r.total_simulated_hours
+    );
+    println!(
+        "serial heap {:.2}s -> serial calendar {:.2}s ({:.2}x engine) -> {}-thread calendar {:.2}s ({:.2}x sweep)",
+        r.serial_heap_s,
+        r.serial_calendar_s,
+        r.engine_speedup(),
+        r.threads,
+        r.parallel_calendar_s,
+        r.sweep_speedup()
+    );
+    let json = soak::to_json(&r);
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -27,6 +27,7 @@ use respect_tpu::device::DeviceSpec;
 use respect_tpu::{compile, exec, EdgeTpuCompiler};
 
 pub mod experiments;
+pub mod soak;
 
 /// Pipeline stage counts evaluated by the paper.
 pub const STAGE_COUNTS: [usize; 3] = [4, 5, 6];

@@ -1,0 +1,465 @@
+//! Long-horizon soak benchmark of the discrete-event engine.
+//!
+//! The regular benches (`benches/sim.rs`, `benches/serve.rs`) time
+//! short runs where setup and cache warm-up dominate. The soak drives
+//! the engine through **tens of millions of events over hours of
+//! simulated time** — multi-tenant streams on a contended USB bus, the
+//! regime the calendar queue exists for — and answers two questions:
+//!
+//! 1. **Is the overhaul safe?** Every grid point runs under both
+//!    [`QueueKind`]s and the reports must compare equal ([`SimReport`]
+//!    equality is exact `f64` comparison, so this is a bitwise check of
+//!    every latency, throughput, and makespan in the sweep).
+//! 2. **What did it buy?** Per-point and aggregate events/second for
+//!    the seed binary heap vs the calendar queue (`engine_speedup`),
+//!    plus the sweep-level win of running grid points on scoped threads
+//!    (`sweep_speedup` = serial-heap wall over parallel-calendar wall).
+//!
+//! Results are printed as a table and serialized by [`to_json`] into
+//! `BENCH_soak.json`, one machine-readable trajectory point per commit.
+
+use std::time::Instant;
+
+use respect_graph::{models, Dag};
+use respect_sched::{balanced::ParamBalanced, Scheduler};
+use respect_tpu::sim::{self, Arrivals, SimConfig, SimReport, Workload};
+use respect_tpu::{compile, exec, CompiledPipeline, DeviceSpec, QueueKind};
+
+/// How hard to soak and how wide to fan out.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakConfig {
+    /// Shrinks every stream ~50x for a smoke pass (CI).
+    pub quick: bool,
+    /// Worker threads for the parallel sweep phase; `0` picks the
+    /// machine's available parallelism (capped at the grid size).
+    pub threads: usize,
+}
+
+impl SoakConfig {
+    /// Full soak, auto thread count.
+    #[must_use]
+    pub fn full() -> Self {
+        SoakConfig {
+            quick: false,
+            threads: 0,
+        }
+    }
+
+    /// Smoke-scale soak, auto thread count.
+    #[must_use]
+    pub fn quick() -> Self {
+        SoakConfig {
+            quick: true,
+            threads: 0,
+        }
+    }
+}
+
+/// One grid point: a deployed model under a fixed traffic shape.
+struct PointSpec {
+    label: &'static str,
+    dag: fn() -> Dag,
+    stages: usize,
+    tenants: usize,
+    requests: usize,
+    contended: bool,
+    /// Offered load as a fraction of the uncontended analytic capacity;
+    /// `0.0` = closed loop.
+    load: f64,
+}
+
+/// The soak grid. Spans the axes that stress the pending-event set
+/// differently: single dense closed loop (monotone near-future pushes),
+/// contended multi-tenant Poisson (interleaved bus/compute events and
+/// time ties), and a wide 4-tenant fan-in (deep event backlog).
+fn grid(quick: bool) -> Vec<PointSpec> {
+    let scale = if quick { 50 } else { 1 };
+    vec![
+        PointSpec {
+            label: "resnet50/closed/uncontended/1t",
+            dag: models::resnet50,
+            stages: 4,
+            tenants: 1,
+            requests: 1_000_000 / scale,
+            contended: false,
+            load: 0.0,
+        },
+        PointSpec {
+            label: "resnet50/poisson80/contended/2t",
+            dag: models::resnet50,
+            stages: 4,
+            tenants: 2,
+            requests: 400_000 / scale,
+            contended: true,
+            load: 0.8,
+        },
+        PointSpec {
+            label: "densenet121/poisson70/contended/4t",
+            dag: models::densenet121,
+            stages: 4,
+            tenants: 4,
+            requests: 150_000 / scale,
+            contended: true,
+            load: 0.7,
+        },
+        PointSpec {
+            label: "xception/closed/contended/1t",
+            dag: models::xception,
+            stages: 4,
+            tenants: 1,
+            requests: 500_000 / scale,
+            contended: true,
+            load: 0.0,
+        },
+        // The fleet-scale points (ROADMAP item 1): with thousands of
+        // co-resident tenants the pending-event set holds ~one timer
+        // per tenant, which is where a binary heap pays 10-12 sift
+        // levels per operation and a calendar queue stays O(1). The
+        // small points above pin the no-regression story at depth ~10;
+        // these are the speedup, growing with tenant count.
+        PointSpec {
+            label: "resnet50/fleet-poisson70/contended/1024t",
+            dag: models::resnet50,
+            stages: 4,
+            tenants: 1024,
+            requests: 500usize.div_ceil(scale),
+            contended: true,
+            load: 0.7,
+        },
+        PointSpec {
+            label: "resnet50/fleet-poisson70/contended/4096t",
+            dag: models::resnet50,
+            stages: 4,
+            tenants: 4096,
+            requests: 150usize.div_ceil(scale),
+            contended: true,
+            load: 0.7,
+        },
+    ]
+}
+
+/// A compiled grid point ready to run.
+struct ReadyPoint {
+    spec: PointSpec,
+    workloads: Vec<Workload>,
+}
+
+fn prepare(spec: PointSpec, device: &DeviceSpec) -> ReadyPoint {
+    let dag = (spec.dag)();
+    let schedule = ParamBalanced::new()
+        .schedule(&dag, spec.stages)
+        .expect("soak models partition at the grid stage counts");
+    let pipeline: CompiledPipeline =
+        compile::compile(&dag, &schedule, device).expect("soak pipelines compile");
+    // capacity estimate for the open-loop rates: the closed-form
+    // analytic oracle, so no calibration simulation is needed
+    let rate_base = {
+        let probe = 1_000;
+        let r = exec::analytic(&pipeline, device, probe).expect("analytic oracle");
+        probe as f64 / r.total_s
+    };
+    let workloads = (0..spec.tenants)
+        .map(|i| {
+            let wl = Workload::new(pipeline.clone(), spec.requests).with_warmup(spec.requests / 10);
+            if spec.load == 0.0 {
+                wl
+            } else {
+                wl.with_arrivals(Arrivals::Poisson {
+                    rate: spec.load * rate_base / spec.tenants as f64,
+                    seed: 0x50a_c0de + i as u64,
+                })
+            }
+        })
+        .collect();
+    ReadyPoint { spec, workloads }
+}
+
+fn run_point(point: &ReadyPoint, device: &DeviceSpec, queue: QueueKind) -> (SimReport, f64) {
+    let base = if point.spec.contended {
+        SimConfig::contended()
+    } else {
+        SimConfig::uncontended()
+    };
+    let cfg = base.with_queue(queue);
+    let start = Instant::now();
+    let report = sim::run(&point.workloads, device, &cfg).expect("soak run");
+    (report, start.elapsed().as_secs_f64())
+}
+
+/// Per-point soak results.
+#[derive(Debug, Clone)]
+pub struct SoakPoint {
+    /// Grid point label (`model/traffic/bus/tenants`).
+    pub label: &'static str,
+    /// Co-resident tenants.
+    pub tenants: usize,
+    /// Requests per tenant.
+    pub requests_per_tenant: usize,
+    /// Whether the tenants share one FIFO USB bus.
+    pub contended: bool,
+    /// Events the engine processed.
+    pub events: u64,
+    /// Simulated horizon, seconds.
+    pub simulated_s: f64,
+    /// Wall time of the serial binary-heap run, seconds.
+    pub heap_wall_s: f64,
+    /// Wall time of the serial calendar-queue run, seconds.
+    pub calendar_wall_s: f64,
+}
+
+impl SoakPoint {
+    /// Events per second of the binary-heap engine.
+    #[must_use]
+    pub fn heap_eps(&self) -> f64 {
+        self.events as f64 / self.heap_wall_s
+    }
+
+    /// Events per second of the calendar-queue engine.
+    #[must_use]
+    pub fn calendar_eps(&self) -> f64 {
+        self.events as f64 / self.calendar_wall_s
+    }
+
+    /// Calendar-over-heap engine speedup at this point.
+    #[must_use]
+    pub fn engine_speedup(&self) -> f64 {
+        self.heap_wall_s / self.calendar_wall_s
+    }
+}
+
+/// Aggregate soak results.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Whether this was the smoke-scale grid.
+    pub quick: bool,
+    /// Worker threads used by the parallel sweep phase.
+    pub threads: usize,
+    /// Per-point results, in grid order.
+    pub points: Vec<SoakPoint>,
+    /// Events processed across the grid (one engine pass).
+    pub total_events: u64,
+    /// Simulated time across the grid, hours.
+    pub total_simulated_hours: f64,
+    /// Wall time of the serial binary-heap pass, seconds.
+    pub serial_heap_s: f64,
+    /// Wall time of the serial calendar pass, seconds.
+    pub serial_calendar_s: f64,
+    /// Wall time of the scoped-thread parallel calendar pass, seconds.
+    pub parallel_calendar_s: f64,
+}
+
+impl SoakReport {
+    /// Aggregate calendar-over-heap engine speedup (same work, one
+    /// thread each).
+    #[must_use]
+    pub fn engine_speedup(&self) -> f64 {
+        self.serial_heap_s / self.serial_calendar_s
+    }
+
+    /// Sweep-level speedup of the overhaul: serial binary heap (the
+    /// seed behavior) vs calendar queue on scoped worker threads.
+    #[must_use]
+    pub fn sweep_speedup(&self) -> f64 {
+        self.serial_heap_s / self.parallel_calendar_s
+    }
+}
+
+/// Runs the soak: a serial binary-heap pass, a serial calendar pass
+/// (asserted report-for-report identical), and a parallel calendar pass
+/// over scoped worker threads (asserted identical again, collected in
+/// deterministic grid order).
+///
+/// # Panics
+///
+/// Panics if any grid point's reports diverge between queue kinds —
+/// that is a correctness bug in the pending-event set, and no timing
+/// result is worth reporting past it.
+#[must_use]
+pub fn soak(cfg: &SoakConfig) -> SoakReport {
+    let device = DeviceSpec::coral();
+    let ready: Vec<ReadyPoint> = grid(cfg.quick)
+        .into_iter()
+        .map(|s| prepare(s, &device))
+        .collect();
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+    .clamp(1, ready.len());
+
+    // phase 1: the seed engine, serially — the baseline trajectory
+    let serial_heap_t0 = Instant::now();
+    let heap_runs: Vec<(SimReport, f64)> = ready
+        .iter()
+        .map(|p| run_point(p, &device, QueueKind::BinaryHeap))
+        .collect();
+    let serial_heap_s = serial_heap_t0.elapsed().as_secs_f64();
+
+    // phase 2: the calendar queue, serially — the engine-level speedup
+    let serial_cal_t0 = Instant::now();
+    let cal_runs: Vec<(SimReport, f64)> = ready
+        .iter()
+        .map(|p| run_point(p, &device, QueueKind::Calendar))
+        .collect();
+    let serial_calendar_s = serial_cal_t0.elapsed().as_secs_f64();
+
+    for (i, ((hr, _), (cr, _))) in heap_runs.iter().zip(&cal_runs).enumerate() {
+        assert_eq!(
+            hr, cr,
+            "soak point {} ({}): calendar queue diverged from the binary heap",
+            i, ready[i].spec.label
+        );
+    }
+
+    // phase 3: the calendar queue across scoped worker threads — the
+    // sweep-level speedup. Workers take grid indices round-robin and
+    // write into disjoint slots, so collection order is deterministic.
+    let par_t0 = Instant::now();
+    let par_runs: Vec<Option<(SimReport, f64)>> = std::thread::scope(|scope| {
+        let ready = &ready;
+        let device = &device;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..ready.len())
+                        .step_by(threads)
+                        .map(|i| (i, run_point(&ready[i], device, QueueKind::Calendar)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<(SimReport, f64)>> = (0..ready.len()).map(|_| None).collect();
+        for h in handles {
+            for (i, run) in h.join().expect("soak worker") {
+                slots[i] = Some(run);
+            }
+        }
+        slots
+    });
+    let parallel_calendar_s = par_t0.elapsed().as_secs_f64();
+    for (i, slot) in par_runs.iter().enumerate() {
+        let (pr, _) = slot.as_ref().expect("every grid point ran");
+        assert_eq!(
+            pr, &heap_runs[i].0,
+            "soak point {} ({}): parallel calendar run diverged",
+            i, ready[i].spec.label
+        );
+    }
+
+    let points: Vec<SoakPoint> = ready
+        .iter()
+        .zip(heap_runs.iter().zip(&cal_runs))
+        .map(|(p, ((hr, hw), (_, cw)))| SoakPoint {
+            label: p.spec.label,
+            tenants: p.spec.tenants,
+            requests_per_tenant: p.spec.requests,
+            contended: p.spec.contended,
+            events: hr.events,
+            simulated_s: hr.makespan_s,
+            heap_wall_s: *hw,
+            calendar_wall_s: *cw,
+        })
+        .collect();
+    SoakReport {
+        quick: cfg.quick,
+        threads,
+        total_events: points.iter().map(|p| p.events).sum(),
+        total_simulated_hours: points.iter().map(|p| p.simulated_s).sum::<f64>() / 3600.0,
+        serial_heap_s,
+        serial_calendar_s,
+        parallel_calendar_s,
+        points,
+    }
+}
+
+/// Serializes a [`SoakReport`] as pretty-printed JSON (hand-written:
+/// the workspace serde shim provides derive markers, not serialization).
+#[must_use]
+pub fn to_json(r: &SoakReport) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"soak\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", r.quick));
+    out.push_str(&format!("  \"threads\": {},\n", r.threads));
+    out.push_str(&format!("  \"total_events\": {},\n", r.total_events));
+    out.push_str(&format!(
+        "  \"total_simulated_hours\": {:.4},\n",
+        r.total_simulated_hours
+    ));
+    out.push_str(&format!("  \"serial_heap_s\": {:.4},\n", r.serial_heap_s));
+    out.push_str(&format!(
+        "  \"serial_calendar_s\": {:.4},\n",
+        r.serial_calendar_s
+    ));
+    out.push_str(&format!(
+        "  \"parallel_calendar_s\": {:.4},\n",
+        r.parallel_calendar_s
+    ));
+    out.push_str(&format!(
+        "  \"engine_speedup\": {:.3},\n",
+        r.engine_speedup()
+    ));
+    out.push_str(&format!("  \"sweep_speedup\": {:.3},\n", r.sweep_speedup()));
+    out.push_str("  \"bitwise_identical\": true,\n");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"label\": \"{}\",\n", p.label));
+        out.push_str(&format!("      \"tenants\": {},\n", p.tenants));
+        out.push_str(&format!(
+            "      \"requests_per_tenant\": {},\n",
+            p.requests_per_tenant
+        ));
+        out.push_str(&format!("      \"contended\": {},\n", p.contended));
+        out.push_str(&format!("      \"events\": {},\n", p.events));
+        out.push_str(&format!("      \"simulated_s\": {:.3},\n", p.simulated_s));
+        out.push_str(&format!("      \"heap_wall_s\": {:.4},\n", p.heap_wall_s));
+        out.push_str(&format!(
+            "      \"calendar_wall_s\": {:.4},\n",
+            p.calendar_wall_s
+        ));
+        out.push_str(&format!("      \"heap_eps\": {:.0},\n", p.heap_eps()));
+        out.push_str(&format!(
+            "      \"calendar_eps\": {:.0},\n",
+            p.calendar_eps()
+        ));
+        out.push_str(&format!(
+            "      \"engine_speedup\": {:.3}\n",
+            p.engine_speedup()
+        ));
+        out.push_str(if i + 1 == r.points.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny soak exercises every phase, the bitwise asserts, and the
+    /// JSON writer. (The full grid is the benchmark's job, not CI's.)
+    #[test]
+    fn quick_soak_is_bitwise_clean_and_serializes() {
+        let mut cfg = SoakConfig::quick();
+        cfg.threads = 2;
+        let r = soak(&cfg);
+        assert_eq!(r.points.len(), 6);
+        assert!(r.total_events > 0);
+        assert!(r.points.iter().all(|p| p.simulated_s > 0.0));
+        let json = to_json(&r);
+        assert!(json.contains("\"bitwise_identical\": true"));
+        assert!(json.contains("resnet50/closed/uncontended/1t"));
+        assert_eq!(
+            json.matches("\"engine_speedup\"").count(),
+            r.points.len() + 1
+        );
+    }
+}

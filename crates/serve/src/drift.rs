@@ -152,10 +152,25 @@ impl DriftWindow {
     }
 
     /// Folds one completed job into the window.
+    ///
+    /// Busy-time contributions must be finite and nonnegative; a NaN,
+    /// infinite, or negative entry would poison the accumulated shares
+    /// and could make [`DriftWindow::divergence`] report garbage for
+    /// the rest of the run (one NaN makes every later divergence NaN,
+    /// which compares false against any threshold and silently disables
+    /// — or with an inverted comparison, permanently triggers —
+    /// re-partitioning). Such entries are counted as zero busy time,
+    /// and debug builds assert so the upstream bug is caught in tests.
     pub fn observe(&mut self, stage_busy_s: &[f64], job_requests: usize) {
         debug_assert_eq!(stage_busy_s.len(), self.busy_s.len());
         for (acc, &b) in self.busy_s.iter_mut().zip(stage_busy_s) {
-            *acc += b;
+            debug_assert!(
+                b.is_finite() && b >= 0.0,
+                "stage busy time must be finite and nonnegative, got {b}"
+            );
+            if b.is_finite() && b > 0.0 {
+                *acc += b;
+            }
         }
         self.jobs += 1;
         self.requests += job_requests;
@@ -178,7 +193,11 @@ impl DriftWindow {
         debug_assert_eq!(predicted_s.len(), self.busy_s.len());
         let obs_total: f64 = self.busy_s.iter().sum();
         let pred_total: f64 = predicted_s.iter().sum();
-        let measurable = obs_total > 0.0 && pred_total > 0.0;
+        // finiteness guards: a NaN or infinite total (a caller passing a
+        // garbage prediction) must yield "no drift", never a NaN that
+        // disables the threshold comparison downstream
+        let measurable =
+            obs_total > 0.0 && pred_total > 0.0 && obs_total.is_finite() && pred_total.is_finite();
         if !measurable {
             return 0.0;
         }
@@ -224,6 +243,34 @@ mod tests {
         let mut w2 = DriftWindow::new(2);
         w2.observe(&[1.0, 1.0], 1);
         assert_eq!(w2.divergence(&[0.0, 0.0]), 0.0, "degenerate prediction");
+    }
+
+    #[test]
+    fn poisoned_window_never_spuriously_triggers() {
+        // direct accumulator corruption (the failure observe guards
+        // against in release builds) yields "no drift", not NaN
+        let mut w = DriftWindow::new(2);
+        w.observe(&[1.0, 1.0], 1);
+        w.busy_s[0] = f64::NAN;
+        assert_eq!(w.divergence(&[1.0, 1.0]), 0.0);
+        w.busy_s[0] = f64::INFINITY;
+        assert_eq!(w.divergence(&[1.0, 1.0]), 0.0);
+        // garbage predictions are equally inert
+        let mut v = DriftWindow::new(2);
+        v.observe(&[3.0, 1.0], 1);
+        assert_eq!(v.divergence(&[f64::NAN, 1.0]), 0.0);
+        assert_eq!(v.divergence(&[f64::INFINITY, 1.0]), 0.0);
+        assert_eq!(v.divergence(&[-5.0, 1.0]), 0.0, "negative prediction total");
+        // a healthy window still measures drift after the checks
+        assert!(v.divergence(&[1.0, 1.0]) > 0.0);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "observe only asserts in debug builds")]
+    #[should_panic(expected = "finite and nonnegative")]
+    fn observe_rejects_poisoned_busy_time_in_debug() {
+        let mut w = DriftWindow::new(1);
+        w.observe(&[f64::NAN], 1);
     }
 
     #[test]

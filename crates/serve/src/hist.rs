@@ -49,23 +49,29 @@ impl LatencyHistogram {
         self.record_n(seconds, 1);
     }
 
-    /// Records `n` identical samples.
+    /// Records `n` identical samples. Counts saturate at `u64::MAX`
+    /// instead of wrapping, so a pathological `record_n` (or a long
+    /// chain of merges) degrades quantiles gracefully rather than
+    /// corrupting them.
     pub fn record_n(&mut self, seconds: f64, n: u64) {
         if n == 0 {
             return;
         }
-        *self.counts.entry(Self::bucket_of(seconds)).or_insert(0) += n;
-        self.total += n;
+        let c = self.counts.entry(Self::bucket_of(seconds)).or_insert(0);
+        *c = c.saturating_add(n);
+        self.total = self.total.saturating_add(n);
     }
 
     /// Adds every bucket of `other` into `self`. Merging per-shard
     /// histograms is exactly equivalent to recording all their samples
-    /// into one histogram.
+    /// into one histogram. Counts saturate at `u64::MAX` (as
+    /// [`LatencyHistogram::record_n`]).
     pub fn merge(&mut self, other: &Self) {
         for (&b, &n) in &other.counts {
-            *self.counts.entry(b).or_insert(0) += n;
+            let c = self.counts.entry(b).or_insert(0);
+            *c = c.saturating_add(n);
         }
-        self.total += other.total;
+        self.total = self.total.saturating_add(other.total);
     }
 
     /// Samples recorded.
@@ -91,7 +97,7 @@ impl LatencyHistogram {
         let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
         for (&b, &n) in &self.counts {
-            seen += n;
+            seen = seen.saturating_add(n);
             if seen >= rank {
                 return Self::bucket_floor_of(b);
             }
@@ -225,6 +231,29 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert!(h.is_empty());
         assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_wrapping() {
+        let mut h = LatencyHistogram::new();
+        h.record_n(1e-3, u64::MAX);
+        h.record_n(1e-3, 1); // would wrap the bucket AND the total
+        assert_eq!(h.count(), u64::MAX);
+        // quantiles still answer from the (saturated) bucket
+        assert_eq!(
+            h.p99().to_bits(),
+            LatencyHistogram::bucket_floor(1e-3).to_bits()
+        );
+        let mut other = LatencyHistogram::new();
+        other.record_n(2.0, u64::MAX);
+        h.merge(&other); // would wrap total by ~u64::MAX
+        assert_eq!(h.count(), u64::MAX);
+        // a saturated leading bucket absorbs every rank — degraded but
+        // well-defined, and no arithmetic wrapped along the way
+        assert_eq!(
+            h.quantile(1.0).to_bits(),
+            LatencyHistogram::bucket_floor(1e-3).to_bits()
+        );
     }
 
     #[test]

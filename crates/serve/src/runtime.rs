@@ -41,14 +41,15 @@
 //! bitwise differential property tests in
 //! `crates/serve/tests/properties.rs` exist to catch a missed mirror.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 use respect_sched::repartition;
 use respect_tpu::compile::{self, CompiledPipeline};
 use respect_tpu::device::DeviceSpec;
+use respect_tpu::event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
+use respect_tpu::mem::{InlineVec, Slab, SmallQueue};
 use respect_tpu::sim::{self, ArrivalSampler, Arrivals, CompletionRecord, SimError};
 use respect_tpu::usb;
 use serde::{Deserialize, Serialize};
@@ -282,6 +283,10 @@ pub struct ServeConfig {
     /// Record exact per-request completion records in
     /// [`TenantServeReport::completions`].
     pub record_completions: bool,
+    /// Pending-event set implementation (as [`sim::SimConfig::queue`]).
+    /// Pop order is identical for every [`QueueKind`], so this switches
+    /// raw engine speed, never results.
+    pub queue: QueueKind,
 }
 
 impl ServeConfig {
@@ -291,6 +296,7 @@ impl ServeConfig {
         ServeConfig {
             contended_bus: false,
             record_completions: false,
+            queue: QueueKind::default(),
         }
     }
 
@@ -300,6 +306,7 @@ impl ServeConfig {
         ServeConfig {
             contended_bus: true,
             record_completions: false,
+            queue: QueueKind::default(),
         }
     }
 
@@ -307,6 +314,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_completions(mut self) -> Self {
         self.record_completions = true;
+        self
+    }
+
+    /// Replaces the pending-event set implementation.
+    #[must_use]
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
         self
     }
 }
@@ -447,8 +461,9 @@ fn job_timings(
 }
 
 /// Which transfer of a stage a bus hold carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 enum BusPhase {
+    #[default]
     Input,
     Stream,
     Output,
@@ -475,49 +490,27 @@ enum EventKind {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    t: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.t.to_bits() == other.t.to_bits() && self.seq == other.seq
-    }
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.t
-            .total_cmp(&other.t)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
-}
-
-/// One dynamic batch in flight.
+/// One dynamic batch in flight. Lives in the tenant's job [`Slab`]
+/// from batch close to last-stage completion; its slot (and the member
+/// list's inline storage) is then recycled, so in-flight state costs
+/// no steady-state allocation.
 #[derive(Debug)]
 struct Job {
-    members: Vec<usize>,
-    timing: Vec<StageTiming>,
+    members: InlineVec<usize, 8>,
+    /// Per-stage timings, shared with the tenant's cache: jobs carrying
+    /// the same member count under the same pipeline reuse one
+    /// computation (invalidated on hot-swap; in-flight jobs keep the
+    /// snapshot they were formed under).
+    timing: Rc<[StageTiming]>,
 }
 
 #[derive(Debug, Default)]
 struct Device {
     busy: bool,
-    queue: VecDeque<(usize, usize)>,
+    queue: SmallQueue<(usize, usize), 4>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct BusRequest {
     w: usize,
     j: usize,
@@ -529,7 +522,7 @@ struct BusRequest {
 #[derive(Debug, Default)]
 struct Bus {
     busy: bool,
-    queue: VecDeque<BusRequest>,
+    queue: SmallQueue<BusRequest, 4>,
     busy_s: f64,
 }
 
@@ -556,7 +549,15 @@ struct TenantState {
     /// Requests inside jobs queued before stage 0 (not yet in
     /// service).
     waiting_stage0: usize,
-    jobs: Vec<Job>,
+    /// In-flight jobs; slots recycle after the last stage completes.
+    jobs: Slab<Job>,
+    /// Jobs closed over the whole run (the slab only holds live ones).
+    jobs_executed: usize,
+    /// Memoized [`job_timings`] keyed by job member count, for the
+    /// current pipeline. Invalidated on hot-swap.
+    timing_cache: Vec<Option<Rc<[StageTiming]>>>,
+    /// Reusable buffer for per-stage holds handed to the drift window.
+    scratch_holds: Vec<f64>,
     window: DriftWindow,
     /// Re-partition evaluations that ran the refiner (bounded by
     /// `DriftPolicy::max_swaps` whether or not they swapped).
@@ -570,12 +571,11 @@ impl TenantState {
     }
 }
 
-struct Engine<'a> {
+struct Engine<'a, Q> {
     tenants_cfg: &'a [ServeTenant],
     spec: &'a DeviceSpec,
     cfg: ServeConfig,
-    heap: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    queue: Q,
     devices: Vec<Device>,
     bus: Bus,
     states: Vec<TenantState>,
@@ -591,7 +591,7 @@ fn base_holds(pipeline: &CompiledPipeline, spec: &DeviceSpec, batch: usize) -> V
         .collect()
 }
 
-impl<'a> Engine<'a> {
+impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
     fn new(tenants: &'a [ServeTenant], spec: &'a DeviceSpec, cfg: ServeConfig) -> Self {
         let chain = tenants
             .iter()
@@ -606,7 +606,8 @@ impl<'a> Engine<'a> {
                 TenantState {
                     pipeline: t.pipeline.clone(),
                     bottleneck_hold_s: bottleneck,
-                    sampler: ArrivalSampler::new(t.arrivals),
+                    sampler: ArrivalSampler::new(t.arrivals)
+                        .expect("tenant arrivals validated before the engine starts"),
                     arrivals_at: vec![0.0; t.requests],
                     completed_at: vec![0.0; t.requests],
                     admitted: Vec::with_capacity(t.requests),
@@ -615,7 +616,10 @@ impl<'a> Engine<'a> {
                     open: Vec::new(),
                     open_epoch: 0,
                     waiting_stage0: 0,
-                    jobs: Vec::new(),
+                    jobs: Slab::new(),
+                    jobs_executed: 0,
+                    timing_cache: Vec::new(),
+                    scratch_holds: Vec::new(),
                     window: DriftWindow::new(base.len()),
                     repartition_attempts: 0,
                     swaps: Vec::new(),
@@ -627,8 +631,7 @@ impl<'a> Engine<'a> {
             tenants_cfg: tenants,
             spec,
             cfg,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: Q::default(),
             devices: (0..chain).map(|_| Device::default()).collect(),
             bus: Bus::default(),
             states,
@@ -638,9 +641,7 @@ impl<'a> Engine<'a> {
     }
 
     fn push(&mut self, t: f64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Event { t, seq, kind }));
+        self.queue.push(t, kind);
     }
 
     fn run(mut self) -> ServeReport {
@@ -648,21 +649,21 @@ impl<'a> Engine<'a> {
             let t0 = self.states[w].sampler.next_arrival_s();
             self.push(t0, EventKind::Arrive { w, r: 0 });
         }
-        while let Some(Reverse(ev)) = self.heap.pop() {
+        while let Some((t, kind)) = self.queue.pop() {
             // Flush timers whose batch already closed by size are stale:
             // drop them before they advance the clock, so makespan and
             // the event count reflect only work the system performed.
-            if let EventKind::FlushBatch { w, epoch } = ev.kind {
+            if let EventKind::FlushBatch { w, epoch } = kind {
                 if self.states[w].open_epoch != epoch || self.states[w].open.is_empty() {
                     continue;
                 }
             }
-            self.now = ev.t;
+            self.now = t;
             self.events += 1;
-            match ev.kind {
-                EventKind::Arrive { w, r } => self.arrive(w, r, ev.t),
-                EventKind::FlushBatch { w, .. } => self.close_batch(w, ev.t),
-                EventKind::StageDone { w, j, k } => self.finish_stage(w, j, k, ev.t),
+            match kind {
+                EventKind::Arrive { w, r } => self.arrive(w, r, t),
+                EventKind::FlushBatch { w, .. } => self.close_batch(w, t),
+                EventKind::StageDone { w, j, k } => self.finish_stage(w, j, k, t),
                 EventKind::HostDone { w, j, k } => {
                     let d = self.states[w].jobs[j].timing[k].input_s;
                     self.request_bus(
@@ -673,7 +674,7 @@ impl<'a> Engine<'a> {
                             phase: BusPhase::Input,
                             duration: d,
                         },
-                        ev.t,
+                        t,
                     );
                 }
                 EventKind::ComputeDone { w, j, k } => {
@@ -686,12 +687,12 @@ impl<'a> Engine<'a> {
                             phase: BusPhase::Stream,
                             duration: d,
                         },
-                        ev.t,
+                        t,
                     );
                 }
                 EventKind::BusDone { w, j, k, phase } => {
-                    self.release_bus(ev.t);
-                    self.after_bus_phase(w, j, k, phase, ev.t);
+                    self.release_bus(t);
+                    self.after_bus_phase(w, j, k, phase, t);
                 }
             }
         }
@@ -732,12 +733,24 @@ impl<'a> Engine<'a> {
         let spec = self.spec;
         let batch = self.tenants_cfg[w].batch;
         let st = &mut self.states[w];
-        let members = std::mem::take(&mut st.open);
+        let count = st.open.len();
+        let mut members: InlineVec<usize, 8> = InlineVec::new();
+        members.extend(st.open.drain(..));
         st.open_epoch += 1;
-        let inferences = members.len() * batch;
-        let timing = job_timings(&st.pipeline, spec, inferences);
-        st.jobs.push(Job { members, timing });
-        let j = st.jobs.len() - 1;
+        if st.timing_cache.len() <= count {
+            st.timing_cache.resize(count + 1, None);
+        }
+        let timing = match &st.timing_cache[count] {
+            Some(cached) => Rc::clone(cached),
+            None => {
+                let fresh: Rc<[StageTiming]> =
+                    job_timings(&st.pipeline, spec, count * batch).into();
+                st.timing_cache[count] = Some(Rc::clone(&fresh));
+                fresh
+            }
+        };
+        st.jobs_executed += 1;
+        let j = st.jobs.insert(Job { members, timing });
         self.join_device(w, j, 0, t);
     }
 
@@ -838,18 +851,19 @@ impl<'a> Engine<'a> {
     fn complete_job(&mut self, w: usize, j: usize, t: f64) {
         let tenants = self.tenants_cfg;
         let st = &mut self.states[w];
-        for idx in 0..st.jobs[j].members.len() {
-            let r = st.jobs[j].members[idx];
+        let job = st.jobs.remove(j).expect("completing job is live");
+        for &r in job.members.as_slice() {
             st.completed_at[r] = t;
         }
-        st.done_requests += st.jobs[j].members.len();
-        let holds: Vec<f64> = st.jobs[j].timing.iter().map(|s| s.hold_s).collect();
-        let members = st.jobs[j].members.len();
+        let members = job.members.len();
+        st.done_requests += members;
         // the drift window tracks the current partition's stage count;
         // jobs formed before a swap may be shorter or longer — compare
         // only shape-matching observations
-        if holds.len() == st.window.busy_s.len() {
-            st.window.observe(&holds, members);
+        if job.timing.len() == st.window.busy_s.len() {
+            st.scratch_holds.clear();
+            st.scratch_holds.extend(job.timing.iter().map(|s| s.hold_s));
+            st.window.observe(&st.scratch_holds, members);
         }
         if let Some(rep) = tenants[w].repartitioner.as_ref() {
             if st.window.jobs >= rep.policy.window_jobs {
@@ -896,6 +910,9 @@ impl<'a> Engine<'a> {
         st.base_hold_s = base_holds(&st.pipeline, spec, batch);
         st.bottleneck_hold_s = st.base_hold_s.iter().copied().fold(0.0, f64::max);
         st.window = DriftWindow::new(st.base_hold_s.len());
+        // memoized timings describe the swapped-out pipeline; in-flight
+        // jobs keep their own Rc snapshot, new jobs must recompute
+        st.timing_cache.clear();
         st.swaps.push(SwapRecord {
             at_s: t,
             from_objective: from_obj,
@@ -968,8 +985,8 @@ impl<'a> Engine<'a> {
                 offered: tcfg.requests,
                 admitted: n_adm,
                 shed: st.shed,
-                jobs: st.jobs.len(),
-                mean_job_requests: n_adm as f64 / st.jobs.len() as f64,
+                jobs: st.jobs_executed,
+                mean_job_requests: n_adm as f64 / st.jobs_executed as f64,
                 measured_requests: measured,
                 total_s,
                 mean_latency_s: lat_sum / measured as f64,
@@ -1076,5 +1093,10 @@ pub fn serve(
             }
         }
     }
-    Ok(Engine::new(tenants, spec, *cfg).run())
+    Ok(match cfg.queue {
+        QueueKind::BinaryHeap => {
+            Engine::<BinaryHeapQueue<EventKind>>::new(tenants, spec, *cfg).run()
+        }
+        QueueKind::Calendar => Engine::<CalendarQueue<EventKind>>::new(tenants, spec, *cfg).run(),
+    })
 }

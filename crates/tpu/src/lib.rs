@@ -17,6 +17,12 @@
 //! * [`sim`] — the deterministic discrete-event engine: per-device FIFO
 //!   servers, an optionally shared host USB bus with FIFO contention,
 //!   open/closed-loop arrivals, batching, and multi-tenant co-residency;
+//! * [`event_queue`] — the pending-event set behind the engine: the
+//!   [`EventQueue`] trait with binary-heap and
+//!   calendar-queue implementations, differential-tested to pop
+//!   identical `(time, seq)` sequences;
+//! * [`mem`] — allocation-lean containers (inline FIFO rings, inline
+//!   vectors, a deterministic slab) for the event hot path;
 //! * [`exec`] — pipelined inference streams on top of [`sim`] (the
 //!   Fig. 4 on-chip runtime metric), plus the closed-form analytic
 //!   oracle the engine is differentially tested against;
@@ -44,13 +50,16 @@ pub mod caching;
 pub mod compile;
 pub mod device;
 pub mod energy;
+pub mod event_queue;
 pub mod exec;
+pub mod mem;
 pub mod profiling;
 pub mod sim;
 pub mod usb;
 
 pub use compile::{CompiledPipeline, EdgeTpuCompiler, Segment};
 pub use device::DeviceSpec;
+pub use event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
 pub use exec::InferenceReport;
 pub use sim::{
     ArrivalSampler, Arrivals, CompletionRecord, SimConfig, SimError, SimReport, TenantReport,

@@ -1,0 +1,331 @@
+//! Allocation-lean containers for the discrete-event hot path.
+//!
+//! A simulation run processes tens of millions of events, and the seed
+//! engine paid a heap allocation (or a `VecDeque` growth) on paths that
+//! almost never hold more than a handful of items: device FIFO queues,
+//! bus wait queues, and per-job member lists. The containers here keep
+//! the common case inline on the owning struct and spill to the heap
+//! only past a compile-time threshold:
+//!
+//! * [`SmallQueue`] — a FIFO whose first `N` occupants live in an
+//!   inline ring buffer; overflow spills to a `VecDeque` that refills
+//!   the ring as it drains. Pop order is exactly arrival order.
+//! * [`InlineVec`] — a push-only vector whose first `N` elements live
+//!   inline; on overflow *all* elements move to a heap `Vec` so
+//!   [`InlineVec::as_slice`] stays contiguous.
+//! * [`Slab`] — index-stable storage with a LIFO free list, for
+//!   in-flight state that is created and retired millions of times per
+//!   run (slot reuse is deterministic: same operation sequence, same
+//!   indices).
+//!
+//! All three are deterministic by construction — behavior depends only
+//! on the operation sequence, never on addresses or capacity history.
+
+use std::collections::VecDeque;
+
+/// A FIFO queue whose first `N` occupants are stored inline.
+///
+/// Pushes beyond `N` spill to a heap `VecDeque`; pops always come from
+/// the inline ring, which refills from the spill, so pop order is
+/// exactly push order. With `N` sized to the common backlog, steady
+/// state performs zero heap traffic.
+///
+/// ```
+/// use respect_tpu::mem::SmallQueue;
+/// let mut q: SmallQueue<u32, 2> = SmallQueue::new();
+/// q.push_back(1);
+/// q.push_back(2);
+/// q.push_back(3); // spills
+/// assert_eq!(q.pop_front(), Some(1));
+/// assert_eq!(q.pop_front(), Some(2));
+/// assert_eq!(q.pop_front(), Some(3));
+/// assert_eq!(q.pop_front(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmallQueue<T, const N: usize> {
+    /// Inline ring buffer; `ring[head]` is the queue front.
+    ring: [T; N],
+    head: usize,
+    /// Occupancy of the ring (`<= N`).
+    len: usize,
+    /// Overflow, oldest first. Invariant: non-empty only while the ring
+    /// is full.
+    spill: VecDeque<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallQueue<T, N> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        SmallQueue {
+            ring: [T::default(); N],
+            head: 0,
+            len: 0,
+            spill: VecDeque::new(),
+        }
+    }
+
+    /// Items queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len + self.spill.len()
+    }
+
+    /// Whether the queue holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `v` at the back.
+    pub fn push_back(&mut self, v: T) {
+        if self.len < N {
+            self.ring[(self.head + self.len) % N] = v;
+            self.len += 1;
+        } else {
+            self.spill.push_back(v);
+        }
+    }
+
+    /// Removes and returns the front item.
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.ring[self.head];
+        self.head = (self.head + 1) % N;
+        self.len -= 1;
+        if let Some(s) = self.spill.pop_front() {
+            self.ring[(self.head + self.len) % N] = s;
+            self.len += 1;
+        }
+        Some(v)
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallQueue<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A push-only vector whose first `N` elements are stored inline.
+///
+/// On overflow every element moves to a heap `Vec`, so
+/// [`InlineVec::as_slice`] is always one contiguous slice.
+///
+/// ```
+/// use respect_tpu::mem::InlineVec;
+/// let mut v: InlineVec<usize, 4> = InlineVec::new();
+/// v.push(7);
+/// v.push(8);
+/// assert_eq!(v.as_slice(), &[7, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InlineVec<T, const N: usize> {
+    inline: [T; N],
+    /// Elements in `inline` (meaningful only while `spill` is empty).
+    len: usize,
+    /// Once non-empty, holds *all* elements.
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector.
+    #[must_use]
+    pub fn new() -> Self {
+        InlineVec {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Elements held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        if self.spill.is_empty() {
+            self.len
+        } else {
+            self.spill.len()
+        }
+    }
+
+    /// Whether no element has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `v`.
+    pub fn push(&mut self, v: T) {
+        if !self.spill.is_empty() {
+            self.spill.push(v);
+        } else if self.len < N {
+            self.inline[self.len] = v;
+            self.len += 1;
+        } else {
+            self.spill.reserve(N + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(v);
+            self.len = 0;
+        }
+    }
+
+    /// All elements, in push order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+/// Index-stable storage with deterministic LIFO slot reuse.
+///
+/// [`Slab::insert`] returns a key that stays valid until
+/// [`Slab::remove`]; freed slots are reused most-recently-freed first,
+/// so the key sequence is a pure function of the operation sequence.
+///
+/// ```
+/// use respect_tpu::mem::Slab;
+/// let mut s = Slab::new();
+/// let a = s.insert("a");
+/// let b = s.insert("b");
+/// s.remove(a);
+/// assert_eq!(s.insert("c"), a, "freed slot is reused");
+/// assert_eq!(s[b], "b");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<usize>,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether no entry is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stores `v`, returning its key.
+    pub fn insert(&mut self, v: T) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.slots[i] = Some(v);
+            i
+        } else {
+            self.slots.push(Some(v));
+            self.slots.len() - 1
+        }
+    }
+
+    /// The entry at `key`, if live.
+    #[must_use]
+    pub fn get(&self, key: usize) -> Option<&T> {
+        self.slots.get(key).and_then(Option::as_ref)
+    }
+
+    /// Removes and returns the entry at `key`.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        let v = self.slots.get_mut(key).and_then(Option::take);
+        if v.is_some() {
+            self.free.push(key);
+        }
+        v
+    }
+}
+
+impl<T> std::ops::Index<usize> for Slab<T> {
+    type Output = T;
+
+    fn index(&self, key: usize) -> &T {
+        self.slots[key].as_ref().expect("live slab entry")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_queue_is_fifo_across_the_spill_boundary() {
+        let mut q: SmallQueue<usize, 3> = SmallQueue::new();
+        let mut model = VecDeque::new();
+        // interleaved pushes and pops crossing N repeatedly
+        for step in 0..1000usize {
+            if step % 7 < 4 {
+                q.push_back(step);
+                model.push_back(step);
+            } else {
+                assert_eq!(q.pop_front(), model.pop_front());
+            }
+            assert_eq!(q.len(), model.len());
+        }
+        while let Some(expect) = model.pop_front() {
+            assert_eq!(q.pop_front(), Some(expect));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop_front(), None);
+    }
+
+    #[test]
+    fn inline_vec_stays_contiguous_across_overflow() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..10 {
+            v.push(i);
+            assert_eq!(v.len(), i as usize + 1);
+        }
+        assert_eq!(v.as_slice(), (0..10).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn slab_reuses_slots_deterministically() {
+        let mut s = Slab::new();
+        let keys: Vec<usize> = (0..5).map(|i| s.insert(i)).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.remove(1), Some(1));
+        assert_eq!(s.remove(3), Some(3));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.insert(10), 3, "most recently freed first");
+        assert_eq!(s.insert(11), 1);
+        assert_eq!(s.insert(12), 5, "then fresh slots");
+        assert_eq!(s.remove(7), None, "never-allocated key");
+        assert_eq!(s.remove(3), Some(10));
+        assert_eq!(s.remove(3), None, "double free is inert");
+        assert_eq!(s.get(0), Some(&0));
+        assert_eq!(s.get(3), None);
+    }
+}

@@ -27,14 +27,24 @@
 //!   [`CompiledPipeline`]s) co-resident on one device chain and bus.
 //!
 //! The engine is bitwise deterministic: events are ordered by
-//! `(time, insertion sequence)` in a binary heap, all queues are FIFO,
-//! and the only randomness is the seeded Poisson sampler from the `rand`
-//! shim. With an uncontended bus, a single closed-loop unbatched tenant
-//! reproduces the analytic recurrence *exactly* (same additions in the
-//! same order) — property-tested in `tests/sim_properties.rs`.
+//! `(time, insertion sequence)` in a pluggable [`EventQueue`]
+//! implementation (see [`SimConfig::queue`] — a calendar queue by
+//! default, with the seed binary heap as the differential baseline),
+//! all queues are FIFO, and the only randomness is the seeded Poisson
+//! sampler from the `rand` shim. With an uncontended bus, a single
+//! closed-loop unbatched tenant reproduces the analytic recurrence
+//! *exactly* (same additions in the same order) — property-tested in
+//! `tests/sim_properties.rs`.
+//!
+//! The hot path is allocation-free in steady state: per-event state
+//! lives in [`SmallQueue`] inline rings, the pending-event set reuses
+//! its buckets, and per-tenant statistics stream into scalar
+//! accumulators (in the exact floating-point order of the seed
+//! implementation) instead of per-request arrays, so multi-hour soak
+//! horizons run in constant memory unless completion records or traces
+//! are requested.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -44,6 +54,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::compile::{CompiledPipeline, Segment};
 use crate::device::DeviceSpec;
+use crate::event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
+use crate::mem::SmallQueue;
 use crate::usb;
 
 /// Errors rejected by [`run`] before any event is simulated.
@@ -270,10 +282,20 @@ pub struct ArrivalSampler {
 }
 
 impl ArrivalSampler {
-    /// Builds a sampler for one request stream. Parameters are assumed
-    /// valid (see [`Arrivals::validate`]).
-    #[must_use]
-    pub fn new(arrivals: Arrivals) -> Self {
+    /// Builds a sampler for one request stream, validating the process
+    /// parameters first (see [`Arrivals::validate`]).
+    ///
+    /// Validation here is load-bearing, not ceremony: e.g.
+    /// `Periodic { rate: 0.0 }` would make the first arrival `0.0 / 0.0
+    /// = NaN`, silently breaking the nondecreasing-times invariant of
+    /// every consumer downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] that [`run`] would reject a workload
+    /// carrying these arrivals with.
+    pub fn new(arrivals: Arrivals) -> Result<Self, SimError> {
+        arrivals.validate()?;
         let mut rng = match arrivals {
             Arrivals::Poisson { seed, .. }
             | Arrivals::Mmpp { seed, .. }
@@ -285,14 +307,14 @@ impl ArrivalSampler {
             let u: f64 = rng.as_mut().expect("seeded mmpp rng").gen_range(0.0..1.0);
             state_until_s = -(1.0 - u).ln() * mean_dwell_s;
         }
-        ArrivalSampler {
+        Ok(ArrivalSampler {
             arrivals,
             rng,
             index: 0,
             clock_s: 0.0,
             high: false,
             state_until_s,
-        }
+        })
     }
 
     /// Absolute arrival time of the next request, seconds.
@@ -441,6 +463,10 @@ pub struct SimConfig {
     /// request count). The percentile layer of `respect_serve` is
     /// computed from these records.
     pub record_completions: bool,
+    /// Pending-event set implementation. The pop order is identical for
+    /// every [`QueueKind`] (differential-tested), so this switches raw
+    /// engine speed, never results.
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -451,6 +477,7 @@ impl SimConfig {
             contended_bus: false,
             record_trace: false,
             record_completions: false,
+            queue: QueueKind::default(),
         }
     }
 
@@ -461,6 +488,7 @@ impl SimConfig {
             contended_bus: true,
             record_trace: false,
             record_completions: false,
+            queue: QueueKind::default(),
         }
     }
 
@@ -475,6 +503,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_completions(mut self) -> Self {
         self.record_completions = true;
+        self
+    }
+
+    /// Replaces the pending-event set implementation.
+    #[must_use]
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
         self
     }
 }
@@ -575,7 +610,7 @@ pub struct SimReport {
 }
 
 /// Per-stage timings of one workload, batch-scaled once up front.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct StageTiming {
     /// Atomic hold for the uncontended path: exactly
     /// `host + usb(in) + compute + usb(stream) + usb(out)` in that
@@ -645,71 +680,48 @@ impl<'a> WorkloadView<'a> {
 }
 
 /// Which transfer of a stage a bus hold carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 enum BusPhase {
+    #[default]
     Input,
     Stream,
     Output,
 }
 
+/// Pending-event payload. Indices are packed narrow (`u32` tenant and
+/// request, `u16` stage) so a queue entry stays small — at fleet scale
+/// the pending set holds ~one event per tenant and popping is
+/// memory-bound, so entry bytes are events per second. [`Engine::new`]
+/// asserts the bounds, so the casts never truncate.
 #[derive(Debug, Clone, Copy)]
 enum EventKind {
     /// Request `r` of tenant `w` enters the system.
-    Arrive { w: usize, r: usize },
+    Arrive { w: u32, r: u32 },
     /// The whole uncontended stage hold elapsed.
-    StageDone { w: usize, r: usize, k: usize },
+    StageDone { w: u32, r: u32, k: u16 },
     /// Host dispatch elapsed (contended path).
-    HostDone { w: usize, r: usize, k: usize },
+    HostDone { w: u32, r: u32, k: u16 },
     /// Compute elapsed (contended path).
-    ComputeDone { w: usize, r: usize, k: usize },
+    ComputeDone { w: u32, r: u32, k: u16 },
     /// A bus hold finished (contended path).
     BusDone {
-        w: usize,
-        r: usize,
-        k: usize,
+        w: u32,
+        r: u32,
+        k: u16,
         phase: BusPhase,
     },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    t: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.t.to_bits() == other.t.to_bits() && self.seq == other.seq
-    }
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.t
-            .total_cmp(&other.t)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
 }
 
 /// A single-server FIFO resource (one Edge TPU position).
 #[derive(Debug, Default)]
 struct Device {
     busy: bool,
-    queue: VecDeque<(usize, usize)>,
+    queue: SmallQueue<(usize, usize), 4>,
     /// Open hold for trace recording: `(tenant, request, stage, start)`.
     open: Option<(usize, usize, usize, f64)>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct BusRequest {
     w: usize,
     r: usize,
@@ -721,63 +733,103 @@ struct BusRequest {
 #[derive(Debug, Default)]
 struct Bus {
     busy: bool,
-    queue: VecDeque<BusRequest>,
+    queue: SmallQueue<BusRequest, 4>,
     open: Option<(usize, usize, usize, f64)>,
     busy_s: f64,
 }
 
 /// Per-tenant mutable simulation state.
+///
+/// Statistics stream into scalar accumulators as requests complete —
+/// in the exact floating-point order the seed implementation used in
+/// its finalize loop (per-tenant completions happen in request order:
+/// FIFO servers can't reorder one tenant's stream) — so memory stays
+/// constant in the request count unless completion records are on.
 struct Tenant {
-    timings: Vec<StageTiming>,
-    arrivals_at: Vec<f64>,
-    completed_at: Vec<f64>,
+    /// Arrival instants of admitted-but-uncompleted requests, FIFO.
+    inflight_arrivals: VecDeque<f64>,
+    /// Requests completed (the next completion is request `done`).
     done: usize,
+    first_arrival_s: f64,
+    first_completion_s: f64,
+    /// Completion instant of request `warmup - 1` (0 when `warmup == 0`).
+    window_start_s: f64,
+    last_completion_s: f64,
+    lat_sum: f64,
+    lat_max: f64,
+    completions: Vec<CompletionRecord>,
     sampler: ArrivalSampler,
 }
 
-struct Engine<'a> {
+struct Engine<'a, Q> {
     workloads: &'a [WorkloadView<'a>],
     cfg: SimConfig,
-    heap: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    queue: Q,
     devices: Vec<Device>,
     bus: Bus,
     tenants: Vec<Tenant>,
+    /// All tenants' stage timings, flat at `w * chain + k`: service
+    /// events read timings without touching the (large, per-tenant)
+    /// [`Tenant`] records — one predictable indexed load instead of
+    /// two dependent pointer chases per event at fleet scale.
+    timings: Vec<StageTiming>,
+    /// Device-chain length; the stride of `timings`.
+    chain: usize,
     trace: Vec<TraceSpan>,
     events: u64,
     now: f64,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
     fn new(workloads: &'a [WorkloadView<'a>], spec: &DeviceSpec, cfg: SimConfig) -> Self {
         let chain = workloads
             .iter()
             .map(WorkloadView::stages)
             .max()
             .unwrap_or(0);
+        assert!(
+            workloads.len() <= u32::MAX as usize,
+            "tenant count must fit the packed event index"
+        );
+        assert!(
+            chain <= usize::from(u16::MAX),
+            "stage count must fit the packed event index"
+        );
+        assert!(
+            workloads.iter().all(|wl| wl.requests <= u32::MAX as usize),
+            "request count must fit the packed event index"
+        );
+        let mut timings = vec![StageTiming::default(); workloads.len() * chain];
+        for (w, wl) in workloads.iter().enumerate() {
+            for (k, seg) in wl.pipeline.segments.iter().enumerate() {
+                timings[w * chain + k] = stage_timing(seg, spec, wl.batch);
+            }
+        }
         let tenants = workloads
             .iter()
             .map(|wl| Tenant {
-                timings: wl
-                    .pipeline
-                    .segments
-                    .iter()
-                    .map(|seg| stage_timing(seg, spec, wl.batch))
-                    .collect(),
-                arrivals_at: vec![0.0; wl.requests],
-                completed_at: vec![0.0; wl.requests],
+                inflight_arrivals: VecDeque::new(),
                 done: 0,
-                sampler: ArrivalSampler::new(wl.arrivals),
+                first_arrival_s: 0.0,
+                first_completion_s: 0.0,
+                window_start_s: 0.0,
+                last_completion_s: 0.0,
+                lat_sum: 0.0,
+                lat_max: 0.0,
+                completions: Vec::new(),
+                sampler: ArrivalSampler::new(wl.arrivals)
+                    .expect("workload arrivals validated before the engine starts"),
             })
             .collect();
         Engine {
             workloads,
             cfg,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: Q::default(),
             devices: (0..chain).map(|_| Device::default()).collect(),
             bus: Bus::default(),
             tenants,
+            timings,
+            chain,
             trace: Vec::new(),
             events: 0,
             now: 0.0,
@@ -785,34 +837,46 @@ impl<'a> Engine<'a> {
     }
 
     fn push(&mut self, t: f64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Event { t, seq, kind }));
+        self.queue.push(t, kind);
     }
 
     fn run(mut self) -> SimReport {
         // Seed one pending arrival per tenant; each Arrive schedules the
-        // next, so the heap never holds more than one future arrival per
-        // tenant.
+        // next, so the queue never holds more than one future arrival
+        // per tenant.
         for w in 0..self.workloads.len() {
             let t0 = self.tenants[w].sampler.next_arrival_s();
-            self.push(t0, EventKind::Arrive { w, r: 0 });
+            self.push(t0, EventKind::Arrive { w: w as u32, r: 0 });
         }
-        while let Some(Reverse(ev)) = self.heap.pop() {
-            self.now = ev.t;
+        while let Some((t, kind)) = self.queue.pop() {
+            self.now = t;
             self.events += 1;
-            match ev.kind {
+            match kind {
                 EventKind::Arrive { w, r } => {
-                    self.tenants[w].arrivals_at[r] = ev.t;
+                    let (w, r) = (w as usize, r as usize);
+                    let tenant = &mut self.tenants[w];
+                    if r == 0 {
+                        tenant.first_arrival_s = t;
+                    }
+                    tenant.inflight_arrivals.push_back(t);
                     if r + 1 < self.workloads[w].requests {
                         let tn = self.tenants[w].sampler.next_arrival_s();
-                        self.push(tn, EventKind::Arrive { w, r: r + 1 });
+                        self.push(
+                            tn,
+                            EventKind::Arrive {
+                                w: w as u32,
+                                r: (r + 1) as u32,
+                            },
+                        );
                     }
-                    self.join_device(w, r, 0, ev.t);
+                    self.join_device(w, r, 0, t);
                 }
-                EventKind::StageDone { w, r, k } => self.finish_stage(w, r, k, ev.t),
+                EventKind::StageDone { w, r, k } => {
+                    self.finish_stage(w as usize, r as usize, k as usize, t);
+                }
                 EventKind::HostDone { w, r, k } => {
-                    let d = self.tenants[w].timings[k].input_s;
+                    let (w, r, k) = (w as usize, r as usize, k as usize);
+                    let d = self.timings[w * self.chain + k].input_s;
                     self.request_bus(
                         BusRequest {
                             w,
@@ -821,11 +885,12 @@ impl<'a> Engine<'a> {
                             phase: BusPhase::Input,
                             duration: d,
                         },
-                        ev.t,
+                        t,
                     );
                 }
                 EventKind::ComputeDone { w, r, k } => {
-                    let d = self.tenants[w].timings[k].stream_s;
+                    let (w, r, k) = (w as usize, r as usize, k as usize);
+                    let d = self.timings[w * self.chain + k].stream_s;
                     self.request_bus(
                         BusRequest {
                             w,
@@ -834,12 +899,12 @@ impl<'a> Engine<'a> {
                             phase: BusPhase::Stream,
                             duration: d,
                         },
-                        ev.t,
+                        t,
                     );
                 }
                 EventKind::BusDone { w, r, k, phase } => {
-                    self.release_bus(ev.t);
-                    self.after_bus_phase(w, r, k, phase, ev.t);
+                    self.release_bus(t);
+                    self.after_bus_phase(w as usize, r as usize, k as usize, phase, t);
                 }
             }
         }
@@ -859,11 +924,26 @@ impl<'a> Engine<'a> {
         if self.cfg.record_trace {
             self.devices[k].open = Some((w, r, k, t));
         }
-        let timing = self.tenants[w].timings[k];
+        let timing = self.timings[w * self.chain + k];
+        let (ew, er, ek) = (w as u32, r as u32, k as u16);
         if self.cfg.contended_bus {
-            self.push(t + timing.host_s, EventKind::HostDone { w, r, k });
+            self.push(
+                t + timing.host_s,
+                EventKind::HostDone {
+                    w: ew,
+                    r: er,
+                    k: ek,
+                },
+            );
         } else {
-            self.push(t + timing.hold_s, EventKind::StageDone { w, r, k });
+            self.push(
+                t + timing.hold_s,
+                EventKind::StageDone {
+                    w: ew,
+                    r: er,
+                    k: ek,
+                },
+            );
         }
     }
 
@@ -888,9 +968,9 @@ impl<'a> Engine<'a> {
         self.push(
             t + req.duration,
             EventKind::BusDone {
-                w: req.w,
-                r: req.r,
-                k: req.k,
+                w: req.w as u32,
+                r: req.r as u32,
+                k: req.k as u16,
                 phase: req.phase,
             },
         );
@@ -916,11 +996,18 @@ impl<'a> Engine<'a> {
     fn after_bus_phase(&mut self, w: usize, r: usize, k: usize, phase: BusPhase, t: f64) {
         match phase {
             BusPhase::Input => {
-                let d = self.tenants[w].timings[k].compute_s;
-                self.push(t + d, EventKind::ComputeDone { w, r, k });
+                let d = self.timings[w * self.chain + k].compute_s;
+                self.push(
+                    t + d,
+                    EventKind::ComputeDone {
+                        w: w as u32,
+                        r: r as u32,
+                        k: k as u16,
+                    },
+                );
             }
             BusPhase::Stream => {
-                let d = self.tenants[w].timings[k].output_s;
+                let d = self.timings[w * self.chain + k].output_s;
                 self.request_bus(
                     BusRequest {
                         w,
@@ -954,23 +1041,55 @@ impl<'a> Engine<'a> {
         if k + 1 < self.workloads[w].stages() {
             self.join_device(w, r, k + 1, t);
         } else {
-            self.tenants[w].completed_at[r] = t;
-            self.tenants[w].done += 1;
+            self.complete_request(w, r, t);
+        }
+    }
+
+    /// Streams one completion into the tenant's scalar accumulators —
+    /// the same values, in the same floating-point order, as the seed
+    /// implementation's post-run loop over per-request arrays. FIFO
+    /// servers preserve each tenant's request order, so completion
+    /// `done` is always request `done`.
+    fn complete_request(&mut self, w: usize, r: usize, t: f64) {
+        let warmup = self.workloads[w].warmup;
+        let batch = self.workloads[w].batch;
+        let tenant = &mut self.tenants[w];
+        let arrival = tenant
+            .inflight_arrivals
+            .pop_front()
+            .expect("every completion matches an arrival");
+        debug_assert_eq!(r, tenant.done, "FIFO preserves per-tenant request order");
+        if r == 0 {
+            tenant.first_completion_s = t;
+        }
+        if r + 1 == warmup {
+            tenant.window_start_s = t;
+        }
+        if r >= warmup {
+            let lat = t - arrival;
+            tenant.lat_sum += lat;
+            tenant.lat_max = tenant.lat_max.max(lat);
+        }
+        tenant.last_completion_s = t;
+        tenant.done += 1;
+        if self.cfg.record_completions {
+            tenant.completions.push(CompletionRecord {
+                request: r,
+                batch,
+                arrival_s: arrival,
+                completed_s: t,
+            });
         }
     }
 
     fn finalize(self) -> SimReport {
         let mut reports = Vec::with_capacity(self.workloads.len());
-        for (wl, tenant) in self.workloads.iter().zip(&self.tenants) {
+        for (wl, tenant) in self.workloads.iter().zip(self.tenants) {
             debug_assert_eq!(tenant.done, wl.requests, "every request completes");
             let n = wl.requests;
-            let total_s = tenant.completed_at[n - 1];
-            let first_latency_s = tenant.completed_at[0] - tenant.arrivals_at[0];
-            let window_start = if wl.warmup == 0 {
-                0.0
-            } else {
-                tenant.completed_at[wl.warmup - 1]
-            };
+            let total_s = tenant.last_completion_s;
+            let first_latency_s = tenant.first_completion_s - tenant.first_arrival_s;
+            let window_start = tenant.window_start_s;
             let measured = n - wl.warmup;
             let measured_inferences = measured * wl.batch;
             let window_s = total_s - window_start;
@@ -979,35 +1098,16 @@ impl<'a> Engine<'a> {
             } else {
                 f64::INFINITY
             };
-            let mut lat_sum = 0.0;
-            let mut lat_max = 0.0f64;
-            for r in wl.warmup..n {
-                let lat = tenant.completed_at[r] - tenant.arrivals_at[r];
-                lat_sum += lat;
-                lat_max = lat_max.max(lat);
-            }
-            let completions = if self.cfg.record_completions {
-                (0..n)
-                    .map(|r| CompletionRecord {
-                        request: r,
-                        batch: wl.batch,
-                        arrival_s: tenant.arrivals_at[r],
-                        completed_s: tenant.completed_at[r],
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
             reports.push(TenantReport {
                 requests: n,
                 inferences: wl.inferences(),
                 measured_inferences,
                 total_s,
                 first_latency_s,
-                mean_latency_s: lat_sum / measured as f64,
-                max_latency_s: lat_max,
+                mean_latency_s: tenant.lat_sum / measured as f64,
+                max_latency_s: tenant.lat_max,
                 throughput_ips,
-                completions,
+                completions: tenant.completions,
             });
         }
         SimReport {
@@ -1086,7 +1186,12 @@ fn run_views(
         }
         wl.arrivals.validate()?;
     }
-    Ok(Engine::new(workloads, spec, *cfg).run())
+    Ok(match cfg.queue {
+        QueueKind::BinaryHeap => {
+            Engine::<BinaryHeapQueue<EventKind>>::new(workloads, spec, *cfg).run()
+        }
+        QueueKind::Calendar => Engine::<CalendarQueue<EventKind>>::new(workloads, spec, *cfg).run(),
+    })
 }
 
 #[cfg(test)]
@@ -1317,8 +1422,74 @@ mod tests {
 
     /// Draws `n` arrivals from a fresh sampler.
     fn stream(a: Arrivals, n: usize) -> Vec<f64> {
-        let mut s = ArrivalSampler::new(a);
+        let mut s = ArrivalSampler::new(a).expect("valid arrivals");
         (0..n).map(|_| s.next_arrival_s()).collect()
+    }
+
+    #[test]
+    fn arrival_sampler_rejects_invalid_parameters() {
+        // regression: a zero periodic rate used to be accepted and made
+        // the first arrival 0.0 / 0.0 = NaN
+        assert_eq!(
+            ArrivalSampler::new(Arrivals::Periodic { rate: 0.0 }).err(),
+            Some(SimError::InvalidRate { rate: 0.0 })
+        );
+        assert_eq!(
+            ArrivalSampler::new(Arrivals::Poisson {
+                rate: f64::NAN,
+                seed: 1
+            })
+            .err()
+            .map(|e| matches!(e, SimError::InvalidRate { .. })),
+            Some(true)
+        );
+        assert_eq!(
+            ArrivalSampler::new(Arrivals::Mmpp {
+                low_rate: 10.0,
+                high_rate: 20.0,
+                mean_dwell_s: f64::INFINITY,
+                seed: 1
+            })
+            .err(),
+            Some(SimError::InvalidDwell {
+                dwell_s: f64::INFINITY
+            })
+        );
+        // and a valid sampler still starts at a finite, nondecreasing
+        // stream
+        let mut ok = ArrivalSampler::new(Arrivals::Periodic { rate: 100.0 }).unwrap();
+        let first = ok.next_arrival_s();
+        assert_eq!(first, 0.0);
+        assert!(ok.next_arrival_s() > first);
+    }
+
+    #[test]
+    fn queue_kinds_produce_bitwise_identical_reports() {
+        let (p, spec) = pipeline(4);
+        let mk = |queue| {
+            let wls = vec![
+                Workload::new(p.clone(), 200)
+                    .with_arrivals(Arrivals::Poisson {
+                        rate: 300.0,
+                        seed: 11,
+                    })
+                    .with_batch(2)
+                    .with_warmup(10),
+                Workload::closed_loop(p.clone(), 150),
+            ];
+            run(
+                &wls,
+                &spec,
+                &SimConfig::contended()
+                    .with_trace()
+                    .with_completions()
+                    .with_queue(queue),
+            )
+            .unwrap()
+        };
+        let heap = mk(QueueKind::BinaryHeap);
+        let calendar = mk(QueueKind::Calendar);
+        assert_eq!(heap, calendar, "engine results are queue-independent");
     }
 
     #[test]
