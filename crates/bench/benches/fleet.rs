@@ -1,0 +1,83 @@
+//! Fleet-layer benchmarks: engine cost of routing, autoscaling, and
+//! report merging over the per-chain engines, against the single-chain
+//! runtime baseline.
+//!
+//! Run with `RESPECT_BENCH_BUDGET_MS=20` for a CI smoke pass.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use respect_graph::models;
+use respect_sched::{balanced::OpBalanced, Scheduler};
+use respect_serve::{
+    serve, serve_fleet, AutoscalePolicy, BatchPolicy, FleetConfig, RouterPolicy, ServeConfig,
+    ServeTenant,
+};
+use respect_tpu::sim::Arrivals;
+use respect_tpu::{compile, device::DeviceSpec, CompiledPipeline};
+
+const REQUESTS: usize = 1_000;
+
+fn deployment(spec: &DeviceSpec) -> CompiledPipeline {
+    let dag = models::densenet121();
+    let s = OpBalanced::new().schedule(&dag, 6).unwrap();
+    compile::compile(&dag, &s, spec).unwrap()
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let spec = DeviceSpec::coral();
+    let pipeline = deployment(&spec);
+    let tenant = |rate: f64| {
+        ServeTenant::new(pipeline.clone(), REQUESTS)
+            .with_arrivals(Arrivals::Diurnal {
+                mean_rate: rate,
+                amplitude: 0.5,
+                period_s: 2.0,
+                seed: 1713,
+            })
+            .with_batcher(BatchPolicy::new(8, 5e-3))
+    };
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(20);
+
+    // baseline: the same tenant through the single-chain runtime
+    group.bench_function(format!("single-chain/{REQUESTS}"), |b| {
+        b.iter(|| {
+            let r = serve(&[tenant(150.0)], &spec, &ServeConfig::contended()).unwrap();
+            black_box(r.tenants[0].throughput_ips)
+        })
+    });
+    for chains in [4usize, 16] {
+        let rate = 150.0 * chains as f64;
+        group.bench_function(format!("jsb/{chains}-chains/{REQUESTS}"), |b| {
+            let cfg = FleetConfig::homogeneous(chains, spec)
+                .with_router(RouterPolicy::JoinShortestBacklog)
+                .with_contended_bus();
+            b.iter(|| black_box(serve_fleet(&[tenant(rate)], &cfg).unwrap().p99_s()))
+        });
+        group.bench_function(format!("p2c/{chains}-chains/{REQUESTS}"), |b| {
+            let cfg = FleetConfig::homogeneous(chains, spec)
+                .with_router(RouterPolicy::PowerOfTwoChoices { seed: 0x2c2c })
+                .with_contended_bus();
+            b.iter(|| black_box(serve_fleet(&[tenant(rate)], &cfg).unwrap().p99_s()))
+        });
+    }
+    group.bench_function(format!("jsb+autoscale/16-chains/{REQUESTS}"), |b| {
+        let cfg = FleetConfig::homogeneous(16, spec)
+            .with_router(RouterPolicy::JoinShortestBacklog)
+            .with_contended_bus()
+            .with_autoscale(
+                AutoscalePolicy::new()
+                    .with_scale_up_s(0.015)
+                    .with_scale_down_s(0.002)
+                    .with_check_jobs(8),
+            );
+        b.iter(|| {
+            let r = serve_fleet(&[tenant(2_400.0)], &cfg).unwrap();
+            black_box(r.total_energy_j())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -7,18 +7,21 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig3`, `fig4`, `fig5`, `ablation`, `sim`,
-//! `serve`, `deploy`, `soak`, `all`. `--quick` restricts to three
-//! models, two stage counts, and a seconds-scale policy; omit it for
-//! the full 10/12-model sweep. `sim` sweeps the contended
+//! `serve`, `fleet`, `deploy`, `soak`, `all`. `--quick` restricts to
+//! three models, two stage counts, and a seconds-scale policy; omit it
+//! for the full 10/12-model sweep. `sim` sweeps the contended
 //! discrete-event simulator over arrival rates and tenant counts;
 //! `serve` sweeps the SLO-aware serving runtime over load × policy
 //! bundle (beyond the paper: the online half of a production
-//! deployment); `deploy` runs the unified `Deployment` facade end to
-//! end; `soak` runs the long-horizon event-engine benchmark
-//! (binary heap vs calendar queue, bitwise cross-checked) and writes
-//! `BENCH_soak.json` (`--out <path>` overrides, `--threads <n>` pins
-//! the parallel sweep width). `soak` is not part of `all`: it measures
-//! the engine, not the paper.
+//! deployment); `fleet` sweeps the multi-chain fleet layer over chain
+//! count × router × diurnal load and writes `BENCH_fleet.json`
+//! (`--out <path>` overrides); `deploy` runs the unified `Deployment`
+//! facade end to end; `soak` runs the long-horizon event-engine
+//! benchmark (binary heap vs calendar queue, bitwise cross-checked)
+//! and writes `BENCH_soak.json` (`--out <path>` overrides,
+//! `--threads <n>` pins the parallel sweep width). `soak` is not part
+//! of `all`: it measures the engine, not the paper; `fleet` runs under
+//! `all` but writes its JSON artifact only when invoked directly.
 //!
 //! `--scheduler <name>` picks the deployed partitioner by registry name
 //! for the `sim`, `serve`, and `deploy` experiments (defaults:
@@ -78,6 +81,7 @@ fn main() {
         "ablation" => ablation(quick),
         "sim" => sim_sweep(quick, scheduler),
         "serve" => serve_sweep(quick, scheduler),
+        "fleet" => fleet_sweep(quick, scheduler, Some(&args)),
         "deploy" => deploy(quick, scheduler),
         "soak" => soak_bench(quick, &args),
         "all" => {
@@ -88,14 +92,72 @@ fn main() {
             ablation(quick);
             sim_sweep(quick, scheduler);
             serve_sweep(quick, scheduler);
+            fleet_sweep(quick, scheduler, None);
             deploy(quick, scheduler);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; use \
-                 table1|fig3|fig4|fig5|ablation|sim|serve|deploy|soak|all"
+                 table1|fig3|fig4|fig5|ablation|sim|serve|fleet|deploy|soak|all"
             );
             std::process::exit(2);
+        }
+    }
+}
+
+fn fleet_sweep(quick: bool, scheduler: Option<&str>, write_json: Option<&[String]>) {
+    let scheduler = scheduler.unwrap_or("op-balanced");
+    println!("\n== Fleet sweep: chains x router x diurnal load ====================");
+    println!("partitioner: {scheduler}");
+    println!(
+        "{:<14} {:>3} {:>9} {:>5} {:>6} {:>5} {:>8} {:>8} {:>9} {:>8} {:>9} {:>6}",
+        "model",
+        "N",
+        "router",
+        "load",
+        "admit",
+        "shed",
+        "thr ips",
+        "p50 ms",
+        "p99 ms",
+        "J/req",
+        "energy J",
+        "scale"
+    );
+    let rows = experiments::fleet_sweep_with(quick, scheduler);
+    for r in &rows {
+        println!(
+            "{:<14} {:>3} {:>9} {:>4.0}% {:>6} {:>5} {:>8.1} {:>8.2} {:>9.2} {:>8.4} {:>9.1} {:>6}",
+            r.name,
+            r.chains,
+            r.router,
+            r.load * 100.0,
+            r.admitted,
+            r.shed,
+            r.throughput_ips,
+            r.p50_ms,
+            r.p99_ms,
+            r.energy_per_request_j,
+            r.energy_j,
+            r.scale_events
+        );
+    }
+    println!("reading: load is the diurnal cycle mean vs N x one batched chain's");
+    println!("capacity (the wave swings ±50%); 'jsb+auto' powers chains on demand");
+    if let Some(args) = write_json {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .map_or("BENCH_fleet.json", |v| v.as_str());
+        let json = experiments::fleet_json(quick, scheduler, &rows);
+        match std::fs::write(out, &json) {
+            Ok(()) => println!("wrote {out}"),
+            Err(e) => {
+                eprintln!("could not write {out}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -8,7 +8,8 @@ use respect_graph::models;
 use respect_sched::registry::BuildOptions;
 use respect_sched::{order, pack, Scheduler};
 use respect_serve::{
-    serve, AdmissionPolicy, BatchPolicy, DriftPolicy, Repartitioner, ServeConfig, ServeTenant,
+    serve, serve_fleet, AdmissionPolicy, AutoscalePolicy, BatchPolicy, DriftPolicy, FleetConfig,
+    Repartitioner, RouterPolicy, ServeConfig, ServeTenant,
 };
 use respect_tpu::compile;
 use respect_tpu::device::DeviceSpec;
@@ -526,6 +527,200 @@ pub fn serve_sweep_with(quick: bool, scheduler: &str) -> Vec<ServeSweepRow> {
         }
     }
     rows
+}
+
+/// One point of the fleet sweep: a model served over a chain count and
+/// a router under diurnal load sized for the whole fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSweepRow {
+    /// Model name.
+    pub name: &'static str,
+    /// Chains in the fleet.
+    pub chains: usize,
+    /// Router variant (`rr`, `jsb`, `p2c`, `jsb+auto`).
+    pub router: &'static str,
+    /// Cycle-mean offered load as a fraction of `chains` x one chain's
+    /// batched closed-loop capacity.
+    pub load: f64,
+    /// Requests offered.
+    pub offered: usize,
+    /// Requests admitted (fleet-wide).
+    pub admitted: usize,
+    /// Requests shed by chain-local admission control.
+    pub shed: usize,
+    /// Measured-window throughput, inferences per second.
+    pub throughput_ips: f64,
+    /// Fleet-level median sojourn time, milliseconds.
+    pub p50_ms: f64,
+    /// Fleet-level 99th-percentile sojourn time, milliseconds.
+    pub p99_ms: f64,
+    /// Fleet-level 99.9th-percentile sojourn time, milliseconds.
+    pub p999_ms: f64,
+    /// Total fleet energy (busy + idle over powered spans), joules.
+    pub energy_j: f64,
+    /// Joules per measured request.
+    pub energy_per_request_j: f64,
+    /// Autoscaler decisions (0 without autoscaling).
+    pub scale_events: usize,
+}
+
+/// The four router variants of the fleet sweep; `jsb+auto` adds
+/// backlog-driven autoscaling on a 1-chain floor.
+const FLEET_ROUTERS: [(&str, RouterPolicy, bool); 4] = [
+    ("rr", RouterPolicy::RoundRobin, false),
+    ("jsb", RouterPolicy::JoinShortestBacklog, false),
+    (
+        "p2c",
+        RouterPolicy::PowerOfTwoChoices { seed: 0x2c2c },
+        false,
+    ),
+    ("jsb+auto", RouterPolicy::JoinShortestBacklog, true),
+];
+
+/// Sweeps the fleet serving layer over chain count × router × diurnal
+/// load for a model suite deployed with the op-balancing partition.
+///
+/// The load axis is the *cycle mean* of a diurnal (triangle-wave NHPP)
+/// arrival stream, normalized per model to `chains` x the batched
+/// closed-loop capacity of one chain; the wave swings ±50% around it.
+/// Every arrival process and router is seeded, so all numbers are
+/// deterministic and pinned bitwise by the `fleet_golden` regression
+/// test.
+pub fn fleet_sweep(quick: bool) -> Vec<FleetSweepRow> {
+    fleet_sweep_with(quick, "op-balanced")
+}
+
+/// As [`fleet_sweep`], deployed with any registry partitioner.
+pub fn fleet_sweep_with(quick: bool, scheduler: &str) -> Vec<FleetSweepRow> {
+    let spec = DeviceSpec::coral();
+    let stages = 6;
+    let requests = if quick { 600 } else { 1_500 };
+    let chain_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let suite: Vec<(&'static str, respect_graph::Dag)> = if quick {
+        vec![("DenseNet121", models::densenet121())]
+    } else {
+        vec![
+            ("DenseNet121", models::densenet121()),
+            ("Xception", models::xception()),
+            ("ResNet50", models::resnet50()),
+        ]
+    };
+    let partitioner = registry_scheduler(scheduler, &spec);
+    let mut rows = Vec::new();
+    for (name, dag) in suite {
+        let Some(schedule) = sweep_schedule(partitioner.as_ref(), name, &dag, stages) else {
+            continue;
+        };
+        let pipeline = compile::compile(&dag, &schedule, &spec).expect("compiles");
+        // batched closed-loop capacity of one chain: the per-chain
+        // normalization base for the whole sweep
+        let closed = ServeTenant::new(pipeline.clone(), requests / 2)
+            .with_warmup(requests / 20)
+            .with_batcher(BatchPolicy::new(8, 5e-3));
+        let chain_cap = serve_fleet(
+            &[closed],
+            &FleetConfig::homogeneous(1, spec).with_contended_bus(),
+        )
+        .expect("capacity run")
+        .tenants[0]
+            .throughput_ips;
+        for &chains in chain_counts {
+            for &load in &[0.8, 1.5] {
+                let tenant = ServeTenant::new(pipeline.clone(), requests)
+                    .with_arrivals(Arrivals::Diurnal {
+                        mean_rate: load * chains as f64 * chain_cap,
+                        amplitude: 0.5,
+                        period_s: 2.0,
+                        seed: 1713,
+                    })
+                    .with_warmup(requests / 10)
+                    .with_batcher(BatchPolicy::new(8, 5e-3))
+                    .with_admission(AdmissionPolicy::SloDelay { target_s: 0.050 });
+                for (router_name, router, autoscaled) in FLEET_ROUTERS {
+                    let mut cfg = FleetConfig::homogeneous(chains, spec)
+                        .with_router(router)
+                        .with_contended_bus();
+                    if autoscaled {
+                        // scale up well before the 50 ms admission
+                        // target starts shedding, or the autoscaler
+                        // never sees the pressure it should absorb
+                        cfg = cfg.with_autoscale(
+                            AutoscalePolicy::new()
+                                .with_scale_up_s(0.015)
+                                .with_scale_down_s(0.002)
+                                .with_check_jobs(8),
+                        );
+                    }
+                    let report =
+                        serve_fleet(std::slice::from_ref(&tenant), &cfg).expect("sweep run");
+                    let t = &report.tenants[0];
+                    let measured = report.histogram.count();
+                    rows.push(FleetSweepRow {
+                        name,
+                        chains,
+                        router: router_name,
+                        load,
+                        offered: t.offered,
+                        admitted: t.admitted,
+                        shed: t.shed,
+                        throughput_ips: t.throughput_ips,
+                        p50_ms: report.p50_s() * 1e3,
+                        p99_ms: report.p99_s() * 1e3,
+                        p999_ms: report.p999_s() * 1e3,
+                        energy_j: report.total_energy_j(),
+                        energy_per_request_j: if measured == 0 {
+                            0.0
+                        } else {
+                            report.total_energy_j() / measured as f64
+                        },
+                        scale_events: report.scale_events.len(),
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Serializes fleet-sweep rows as the `BENCH_fleet.json` artifact
+/// (hand-rolled, dependency-free — the `BENCH_soak.json` discipline).
+pub fn fleet_json(quick: bool, scheduler: &str, rows: &[FleetSweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fleet\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"scheduler\": \"{scheduler}\",\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"model\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"chains\": {},\n", r.chains));
+        out.push_str(&format!("      \"router\": \"{}\",\n", r.router));
+        out.push_str(&format!("      \"load\": {:.2},\n", r.load));
+        out.push_str(&format!("      \"offered\": {},\n", r.offered));
+        out.push_str(&format!("      \"admitted\": {},\n", r.admitted));
+        out.push_str(&format!("      \"shed\": {},\n", r.shed));
+        out.push_str(&format!(
+            "      \"throughput_ips\": {:.3},\n",
+            r.throughput_ips
+        ));
+        out.push_str(&format!("      \"p50_ms\": {:.4},\n", r.p50_ms));
+        out.push_str(&format!("      \"p99_ms\": {:.4},\n", r.p99_ms));
+        out.push_str(&format!("      \"p999_ms\": {:.4},\n", r.p999_ms));
+        out.push_str(&format!("      \"energy_j\": {:.3},\n", r.energy_j));
+        out.push_str(&format!(
+            "      \"energy_per_request_j\": {:.6},\n",
+            r.energy_per_request_j
+        ));
+        out.push_str(&format!("      \"scale_events\": {}\n", r.scale_events));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// One row of the `deploy` experiment: a model deployed end to end

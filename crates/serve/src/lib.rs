@@ -10,6 +10,10 @@
 //!   against per-tenant SLO targets, and a **live re-partitioner** that
 //!   hot-swaps the deployed pipeline when the measured bottleneck
 //!   drifts from the compiled prediction;
+//! * [`fleet`] — N chains (possibly heterogeneous) behind a
+//!   deterministic **router** (round-robin, join-shortest-backlog,
+//!   power-of-two-choices, affinity) with backlog-driven
+//!   **autoscaling** and merged fleet-level reports;
 //! * [`hist`] — deterministic, mergeable log-bucket latency histograms
 //!   extending reports with p50/p95/p99/p999;
 //! * [`drift`] — the utilization window and re-partitioning policy.
@@ -45,11 +49,16 @@
 //! # }
 //! ```
 
+mod chain;
 pub mod drift;
+pub mod fleet;
 pub mod hist;
 pub mod runtime;
 
 pub use drift::{DriftPolicy, DriftWindow, Repartitioner};
+pub use fleet::{
+    serve_fleet, AutoscalePolicy, ChainReport, FleetConfig, FleetReport, RouterPolicy, ScaleEvent,
+};
 pub use hist::LatencyHistogram;
 pub use runtime::{
     serve, AdmissionPolicy, BatchPolicy, ServeConfig, ServeError, ServeReport, ServeTenant,

@@ -16,7 +16,7 @@
 //!    requests or its oldest member has waited `max_delay_s`. A closed
 //!    batch becomes one *job*: payload bytes and MACs scale with the
 //!    carried inferences while the fixed host dispatch and USB
-//!    submission overheads are paid once ([`sim::batch_service_time`]),
+//!    submission overheads are paid once ([`respect_tpu::sim::batch_service_time`]),
 //!    exactly the amortization batching buys on real hardware.
 //! 3. **Live re-partitioning** ([`Repartitioner`]) — measured stage
 //!    utilization is accumulated per window; when it diverges from the
@@ -26,38 +26,33 @@
 //!    partition).
 //!
 //! Degenerate configuration (`max_batch = 1`, `max_delay_s = 0`, open
-//! admission, no repartitioner) reproduces [`sim::run`] **bitwise** —
+//! admission, no repartitioner) reproduces [`respect_tpu::sim::run`] **bitwise** —
 //! same event times, same report arithmetic — property-tested in
 //! `crates/serve/tests`. Everything is deterministic per seed: events
 //! are ordered by `(time, insertion sequence)` and all queues are FIFO.
 //!
-//! **Sync contract with `respect_tpu::sim`**: the device/bus event
-//! machinery below (event ordering, FIFO seize/release, the four-phase
-//! contended bus walk, zero-length-transfer elision) deliberately
-//! mirrors the raw engine rather than sharing code with it — the two
-//! engines index different job tokens and the raw engine's hot path
-//! must stay allocation-lean. Any change to the timing or contention
-//! semantics in `crates/tpu/src/sim.rs` must be mirrored here; the
-//! bitwise differential property tests in
-//! `crates/serve/tests/properties.rs` exist to catch a missed mirror.
+//! The chain-level resource semantics (devices, bus, batcher, drift)
+//! live in the extracted per-chain engine (`crate::chain`), which this
+//! module *drives* for the single-chain case; [`crate::fleet`] drives N
+//! of them behind a router. The engine/driver split is pinned by two
+//! differential properties: degenerate `serve` ≡ `sim::run`, and a
+//! 1-chain fleet ≡ `serve`, both bitwise.
 
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
 
-use respect_sched::repartition;
-use respect_tpu::compile::{self, CompiledPipeline};
+use respect_tpu::compile::CompiledPipeline;
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
-use respect_tpu::mem::{InlineVec, Slab, SmallQueue};
-use respect_tpu::sim::{self, ArrivalSampler, Arrivals, CompletionRecord, SimError};
-use respect_tpu::usb;
+use respect_tpu::sim::{Arrivals, CompletionRecord, SimError};
 use serde::{Deserialize, Serialize};
 
-use crate::drift::{DriftWindow, Repartitioner};
+use crate::chain::{ChainEngine, ChainEvent, Event, TenantRecords};
+use crate::drift::Repartitioner;
 use crate::hist::LatencyHistogram;
 
-/// Errors rejected by [`serve`] before any event is simulated.
+/// Errors rejected by [`serve`] (and `fleet::serve_fleet`) before any
+/// event is simulated.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ServeError {
@@ -95,6 +90,13 @@ pub enum ServeError {
         /// What was wrong.
         detail: &'static str,
     },
+    /// A fleet was configured with no chains.
+    NoChains,
+    /// The fleet autoscaling policy is degenerate.
+    InvalidAutoscale {
+        /// What was wrong.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -119,6 +121,8 @@ impl fmt::Display for ServeError {
             ),
             ServeError::InvalidAdmission { detail } => write!(f, "admission policy: {detail}"),
             ServeError::InvalidRepartitioner { detail } => write!(f, "repartitioner: {detail}"),
+            ServeError::NoChains => write!(f, "a fleet needs at least one chain"),
+            ServeError::InvalidAutoscale { detail } => write!(f, "autoscale policy: {detail}"),
         }
     }
 }
@@ -278,12 +282,12 @@ impl ServeTenant {
 pub struct ServeConfig {
     /// `false`: every device has a dedicated host link. `true`: all
     /// transfers share one USB bus in FIFO order (as
-    /// [`sim::SimConfig::contended_bus`]).
+    /// [`respect_tpu::sim::SimConfig::contended_bus`]).
     pub contended_bus: bool,
     /// Record exact per-request completion records in
     /// [`TenantServeReport::completions`].
     pub record_completions: bool,
-    /// Pending-event set implementation (as [`sim::SimConfig::queue`]).
+    /// Pending-event set implementation (as [`respect_tpu::sim::SimConfig::queue`]).
     /// Pop order is identical for every [`QueueKind`], so this switches
     /// raw engine speed, never results.
     pub queue: QueueKind,
@@ -368,6 +372,10 @@ pub struct TenantServeReport {
     pub max_latency_s: f64,
     /// Measured-window throughput, inferences per second.
     pub throughput_ips: f64,
+    /// Active-power energy drawn by devices while busy on this tenant's
+    /// jobs, joules (measured busy time × `active_power_w`, summed over
+    /// the chains that served it).
+    pub active_energy_j: f64,
     /// Log-bucket histogram of measured sojourn times.
     pub histogram: LatencyHistogram,
     /// Accepted pipeline hot-swaps, in time order.
@@ -427,607 +435,207 @@ pub struct ServeReport {
     pub events: u64,
 }
 
-/// Per-stage timings of one job, mirroring the engine decomposition of
-/// `respect_tpu::sim` (the `hold_s` arithmetic is
-/// [`sim::batch_service_time`], bitwise).
-#[derive(Debug, Clone, Copy)]
-struct StageTiming {
-    hold_s: f64,
-    host_s: f64,
-    input_s: f64,
-    compute_s: f64,
-    stream_s: f64,
-    output_s: f64,
-}
-
-fn job_timings(
-    pipeline: &CompiledPipeline,
-    spec: &DeviceSpec,
-    inferences: usize,
-) -> Vec<StageTiming> {
-    let b = inferences as u64;
-    pipeline
-        .segments
-        .iter()
-        .map(|seg| StageTiming {
-            hold_s: sim::batch_service_time(seg, spec, inferences),
-            host_s: spec.host_overhead_s,
-            input_s: usb::transfer_time(spec, seg.input_bytes * b),
-            compute_s: spec.compute_time(seg.macs * b),
-            stream_s: usb::transfer_time(spec, seg.streamed_bytes * b),
-            output_s: usb::transfer_time(spec, seg.output_bytes * b),
-        })
-        .collect()
-}
-
-/// Which transfer of a stage a bus hold carries.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-enum BusPhase {
-    #[default]
-    Input,
-    Stream,
-    Output,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum EventKind {
-    /// Request `r` of tenant `w` arrives.
-    Arrive { w: usize, r: usize },
-    /// The open batch of tenant `w` hit its linger deadline.
-    FlushBatch { w: usize, epoch: u64 },
-    /// The whole uncontended stage hold elapsed.
-    StageDone { w: usize, j: usize, k: usize },
-    /// Host dispatch elapsed (contended path).
-    HostDone { w: usize, j: usize, k: usize },
-    /// Compute elapsed (contended path).
-    ComputeDone { w: usize, j: usize, k: usize },
-    /// A bus hold finished (contended path).
-    BusDone {
-        w: usize,
-        j: usize,
-        k: usize,
-        phase: BusPhase,
-    },
-}
-
-/// One dynamic batch in flight. Lives in the tenant's job [`Slab`]
-/// from batch close to last-stage completion; its slot (and the member
-/// list's inline storage) is then recycled, so in-flight state costs
-/// no steady-state allocation.
-#[derive(Debug)]
-struct Job {
-    members: InlineVec<usize, 8>,
-    /// Per-stage timings, shared with the tenant's cache: jobs carrying
-    /// the same member count under the same pipeline reuse one
-    /// computation (invalidated on hot-swap; in-flight jobs keep the
-    /// snapshot they were formed under).
-    timing: Rc<[StageTiming]>,
-}
-
-#[derive(Debug, Default)]
-struct Device {
-    busy: bool,
-    queue: SmallQueue<(usize, usize), 4>,
-}
-
-#[derive(Debug, Clone, Copy, Default)]
-struct BusRequest {
-    w: usize,
-    j: usize,
-    k: usize,
-    phase: BusPhase,
-    duration: f64,
-}
-
-#[derive(Debug, Default)]
-struct Bus {
-    busy: bool,
-    queue: SmallQueue<BusRequest, 4>,
-    busy_s: f64,
-}
-
-/// Per-tenant mutable serving state.
-struct TenantState {
-    pipeline: CompiledPipeline,
-    /// Single-request per-stage holds of the *current* pipeline — the
-    /// admission controller's service-time estimator.
-    base_hold_s: Vec<f64>,
-    bottleneck_hold_s: f64,
-    sampler: ArrivalSampler,
-    arrivals_at: Vec<f64>,
-    completed_at: Vec<f64>,
-    /// Admitted request indices, in arrival order.
-    admitted: Vec<usize>,
-    /// Admitted requests whose job has completed.
-    done_requests: usize,
-    shed: usize,
-    /// Requests accumulated in the open batch.
-    open: Vec<usize>,
-    /// Increments when a batch closes; stale flush timers compare
-    /// epochs and expire silently.
-    open_epoch: u64,
-    /// Requests inside jobs queued before stage 0 (not yet in
-    /// service).
-    waiting_stage0: usize,
-    /// In-flight jobs; slots recycle after the last stage completes.
-    jobs: Slab<Job>,
-    /// Jobs closed over the whole run (the slab only holds live ones).
+/// Assembles one tenant's report from the driver's request records and
+/// the chain-side counters. Shared by the single-chain and fleet
+/// drivers so the two produce bit-identical per-tenant arithmetic.
+pub(crate) fn tenant_report(
+    tcfg: &ServeTenant,
+    recs: &TenantRecords,
     jobs_executed: usize,
-    /// Memoized [`job_timings`] keyed by job member count, for the
-    /// current pipeline. Invalidated on hot-swap.
-    timing_cache: Vec<Option<Rc<[StageTiming]>>>,
-    /// Reusable buffer for per-stage holds handed to the drift window.
-    scratch_holds: Vec<f64>,
-    window: DriftWindow,
-    /// Re-partition evaluations that ran the refiner (bounded by
-    /// `DriftPolicy::max_swaps` whether or not they swapped).
-    repartition_attempts: usize,
     swaps: Vec<SwapRecord>,
-}
-
-impl TenantState {
-    fn waiting(&self) -> usize {
-        self.open.len() + self.waiting_stage0
+    active_energy_j: f64,
+    record_completions: bool,
+) -> TenantServeReport {
+    let n_adm = recs.admitted.len();
+    debug_assert_eq!(n_adm + recs.shed, tcfg.requests, "every request disposed");
+    if n_adm == 0 {
+        return TenantServeReport {
+            offered: tcfg.requests,
+            admitted: 0,
+            shed: recs.shed,
+            jobs: 0,
+            mean_job_requests: 0.0,
+            measured_requests: 0,
+            total_s: 0.0,
+            mean_latency_s: 0.0,
+            max_latency_s: 0.0,
+            throughput_ips: 0.0,
+            active_energy_j,
+            histogram: LatencyHistogram::new(),
+            swaps,
+            completions: Vec::new(),
+        };
+    }
+    let warm = tcfg.warmup.min(n_adm - 1);
+    // per tenant, completions are in arrival order on one chain (FIFO
+    // devices forbid overtaking), so this fold returns the last
+    // admitted request's completion time there, bitwise; on a fleet it
+    // is the honest maximum across chains
+    let total_s = recs
+        .admitted
+        .iter()
+        .map(|&r| recs.completed_at[r as usize])
+        .fold(0.0, f64::max);
+    let window_start = if warm == 0 {
+        0.0
+    } else {
+        recs.completed_at[recs.admitted[warm - 1] as usize]
+    };
+    let measured = n_adm - warm;
+    let measured_inferences = measured * tcfg.batch;
+    let window_s = total_s - window_start;
+    let throughput_ips = if window_s > 0.0 {
+        measured_inferences as f64 / window_s
+    } else {
+        f64::INFINITY
+    };
+    let mut lat_sum = 0.0;
+    let mut lat_max = 0.0f64;
+    let mut histogram = LatencyHistogram::new();
+    for &r in &recs.admitted[warm..] {
+        let lat = recs.completed_at[r as usize] - recs.arrivals_at[r as usize];
+        lat_sum += lat;
+        lat_max = lat_max.max(lat);
+        histogram.record(lat);
+    }
+    let completions = if record_completions {
+        recs.admitted
+            .iter()
+            .map(|&r| CompletionRecord {
+                request: r as usize,
+                batch: tcfg.batch,
+                arrival_s: recs.arrivals_at[r as usize],
+                completed_s: recs.completed_at[r as usize],
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    TenantServeReport {
+        offered: tcfg.requests,
+        admitted: n_adm,
+        shed: recs.shed,
+        jobs: jobs_executed,
+        mean_job_requests: n_adm as f64 / jobs_executed as f64,
+        measured_requests: measured,
+        total_s,
+        mean_latency_s: lat_sum / measured as f64,
+        max_latency_s: lat_max,
+        throughput_ips,
+        active_energy_j,
+        histogram,
+        swaps,
+        completions,
     }
 }
 
-struct Engine<'a, Q> {
-    tenants_cfg: &'a [ServeTenant],
-    spec: &'a DeviceSpec,
+/// The single-chain driver: one [`ChainEngine`] (index 0), one clock,
+/// one pending-event set.
+struct Driver<'a, Q> {
+    tenants: &'a [ServeTenant],
     cfg: ServeConfig,
     queue: Q,
-    devices: Vec<Device>,
-    bus: Bus,
-    states: Vec<TenantState>,
+    chain: ChainEngine<'a>,
+    recs: Vec<TenantRecords>,
     events: u64,
     now: f64,
 }
 
-fn base_holds(pipeline: &CompiledPipeline, spec: &DeviceSpec, batch: usize) -> Vec<f64> {
-    pipeline
-        .segments
-        .iter()
-        .map(|seg| sim::batch_service_time(seg, spec, batch))
-        .collect()
-}
-
-impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
-    fn new(tenants: &'a [ServeTenant], spec: &'a DeviceSpec, cfg: ServeConfig) -> Self {
-        let chain = tenants
-            .iter()
-            .map(|t| t.pipeline.segments.len())
-            .max()
-            .unwrap_or(0);
-        let states = tenants
-            .iter()
-            .map(|t| {
-                let base = base_holds(&t.pipeline, spec, t.batch);
-                let bottleneck = base.iter().copied().fold(0.0, f64::max);
-                TenantState {
-                    pipeline: t.pipeline.clone(),
-                    bottleneck_hold_s: bottleneck,
-                    sampler: ArrivalSampler::new(t.arrivals)
-                        .expect("tenant arrivals validated before the engine starts"),
-                    arrivals_at: vec![0.0; t.requests],
-                    completed_at: vec![0.0; t.requests],
-                    admitted: Vec::with_capacity(t.requests),
-                    done_requests: 0,
-                    shed: 0,
-                    open: Vec::new(),
-                    open_epoch: 0,
-                    waiting_stage0: 0,
-                    jobs: Slab::new(),
-                    jobs_executed: 0,
-                    timing_cache: Vec::new(),
-                    scratch_holds: Vec::new(),
-                    window: DriftWindow::new(base.len()),
-                    repartition_attempts: 0,
-                    swaps: Vec::new(),
-                    base_hold_s: base,
-                }
-            })
-            .collect();
-        Engine {
-            tenants_cfg: tenants,
-            spec,
+impl<'a, Q: EventQueue<Event>> Driver<'a, Q> {
+    fn new(tenants: &'a [ServeTenant], spec: &DeviceSpec, cfg: ServeConfig) -> Self {
+        Driver {
+            tenants,
             cfg,
             queue: Q::default(),
-            devices: (0..chain).map(|_| Device::default()).collect(),
-            bus: Bus::default(),
-            states,
+            chain: ChainEngine::new(tenants, *spec, cfg.contended_bus, 0),
+            recs: tenants.iter().map(TenantRecords::new).collect(),
             events: 0,
             now: 0.0,
         }
     }
 
-    fn push(&mut self, t: f64, kind: EventKind) {
-        self.queue.push(t, kind);
-    }
-
     fn run(mut self) -> ServeReport {
-        for w in 0..self.tenants_cfg.len() {
-            let t0 = self.states[w].sampler.next_arrival_s();
-            self.push(t0, EventKind::Arrive { w, r: 0 });
+        for w in 0..self.tenants.len() {
+            let t0 = self.recs[w].sampler.next_arrival_s();
+            self.queue.push(t0, Event::Arrive { w: w as u32, r: 0 });
         }
-        while let Some((t, kind)) = self.queue.pop() {
+        while let Some((t, ev)) = self.queue.pop() {
             // Flush timers whose batch already closed by size are stale:
             // drop them before they advance the clock, so makespan and
             // the event count reflect only work the system performed.
-            if let EventKind::FlushBatch { w, epoch } = kind {
-                if self.states[w].open_epoch != epoch || self.states[w].open.is_empty() {
+            if let Event::Chain {
+                k: ChainEvent::FlushBatch { w, epoch },
+                ..
+            } = ev
+            {
+                if self.chain.flush_stale(w as usize, epoch) {
                     continue;
                 }
             }
             self.now = t;
             self.events += 1;
-            match kind {
-                EventKind::Arrive { w, r } => self.arrive(w, r, t),
-                EventKind::FlushBatch { w, .. } => self.close_batch(w, t),
-                EventKind::StageDone { w, j, k } => self.finish_stage(w, j, k, t),
-                EventKind::HostDone { w, j, k } => {
-                    let d = self.states[w].jobs[j].timing[k].input_s;
-                    self.request_bus(
-                        BusRequest {
-                            w,
-                            j,
-                            k,
-                            phase: BusPhase::Input,
-                            duration: d,
-                        },
-                        t,
-                    );
-                }
-                EventKind::ComputeDone { w, j, k } => {
-                    let d = self.states[w].jobs[j].timing[k].stream_s;
-                    self.request_bus(
-                        BusRequest {
-                            w,
-                            j,
-                            k,
-                            phase: BusPhase::Stream,
-                            duration: d,
-                        },
-                        t,
-                    );
-                }
-                EventKind::BusDone { w, j, k, phase } => {
-                    self.release_bus(t);
-                    self.after_bus_phase(w, j, k, phase, t);
+            match ev {
+                Event::Arrive { w, r } => self.arrive(w as usize, r, t),
+                Event::Chain { k, .. } => {
+                    self.chain.handle(k, t, &mut self.queue);
+                    for (w, r) in self.chain.completed.drain(..) {
+                        self.recs[w as usize].completed_at[r as usize] = t;
+                    }
                 }
             }
         }
         self.finalize()
     }
 
-    fn arrive(&mut self, w: usize, r: usize, t: f64) {
-        self.states[w].arrivals_at[r] = t;
-        if r + 1 < self.tenants_cfg[w].requests {
-            let tn = self.states[w].sampler.next_arrival_s();
-            self.push(tn, EventKind::Arrive { w, r: r + 1 });
+    fn arrive(&mut self, w: usize, r: u32, t: f64) {
+        self.recs[w].arrivals_at[r as usize] = t;
+        if (r as usize) + 1 < self.tenants[w].requests {
+            let tn = self.recs[w].sampler.next_arrival_s();
+            self.queue.push(
+                tn,
+                Event::Arrive {
+                    w: w as u32,
+                    r: r + 1,
+                },
+            );
         }
-        let st = &mut self.states[w];
-        let admit = match self.tenants_cfg[w].admission {
-            AdmissionPolicy::Open => true,
-            AdmissionPolicy::QueueBound { max_waiting } => st.waiting() < max_waiting,
-            AdmissionPolicy::SloDelay { target_s } => {
-                let in_system = st.admitted.len() - st.done_requests;
-                in_system as f64 * st.bottleneck_hold_s <= target_s
-            }
-        };
-        if !admit {
-            st.shed += 1;
-            return;
-        }
-        st.admitted.push(r);
-        st.open.push(r);
-        let policy = self.tenants_cfg[w].batcher;
-        if st.open.len() >= policy.max_batch || policy.max_delay_s == 0.0 {
-            self.close_batch(w, t);
-        } else if st.open.len() == 1 {
-            let epoch = st.open_epoch;
-            self.push(t + policy.max_delay_s, EventKind::FlushBatch { w, epoch });
-        }
-    }
-
-    fn close_batch(&mut self, w: usize, t: f64) {
-        let spec = self.spec;
-        let batch = self.tenants_cfg[w].batch;
-        let st = &mut self.states[w];
-        let count = st.open.len();
-        let mut members: InlineVec<usize, 8> = InlineVec::new();
-        members.extend(st.open.drain(..));
-        st.open_epoch += 1;
-        if st.timing_cache.len() <= count {
-            st.timing_cache.resize(count + 1, None);
-        }
-        let timing = match &st.timing_cache[count] {
-            Some(cached) => Rc::clone(cached),
-            None => {
-                let fresh: Rc<[StageTiming]> =
-                    job_timings(&st.pipeline, spec, count * batch).into();
-                st.timing_cache[count] = Some(Rc::clone(&fresh));
-                fresh
-            }
-        };
-        st.jobs_executed += 1;
-        let j = st.jobs.insert(Job { members, timing });
-        self.join_device(w, j, 0, t);
-    }
-
-    fn join_device(&mut self, w: usize, j: usize, k: usize, t: f64) {
-        if self.devices[k].busy {
-            if k == 0 {
-                let st = &mut self.states[w];
-                st.waiting_stage0 += st.jobs[j].members.len();
-            }
-            self.devices[k].queue.push_back((w, j));
+        if self.chain.offer(w, r, t, &mut self.queue) {
+            self.recs[w].admitted.push(r);
         } else {
-            self.seize_device(w, j, k, t);
+            self.recs[w].shed += 1;
         }
-    }
-
-    fn seize_device(&mut self, w: usize, j: usize, k: usize, t: f64) {
-        self.devices[k].busy = true;
-        let timing = self.states[w].jobs[j].timing[k];
-        if self.cfg.contended_bus {
-            self.push(t + timing.host_s, EventKind::HostDone { w, j, k });
-        } else {
-            self.push(t + timing.hold_s, EventKind::StageDone { w, j, k });
-        }
-    }
-
-    /// Zero-length transfers skip the bus entirely (matching
-    /// `usb::transfer_time(_, 0) == 0` and the raw engine).
-    fn request_bus(&mut self, req: BusRequest, t: f64) {
-        if req.duration == 0.0 {
-            self.after_bus_phase(req.w, req.j, req.k, req.phase, t);
-        } else if self.bus.busy {
-            self.bus.queue.push_back(req);
-        } else {
-            self.grant_bus(req, t);
-        }
-    }
-
-    fn grant_bus(&mut self, req: BusRequest, t: f64) {
-        self.bus.busy = true;
-        self.bus.busy_s += req.duration;
-        self.push(
-            t + req.duration,
-            EventKind::BusDone {
-                w: req.w,
-                j: req.j,
-                k: req.k,
-                phase: req.phase,
-            },
-        );
-    }
-
-    fn release_bus(&mut self, t: f64) {
-        self.bus.busy = false;
-        if let Some(next) = self.bus.queue.pop_front() {
-            self.grant_bus(next, t);
-        }
-    }
-
-    fn after_bus_phase(&mut self, w: usize, j: usize, k: usize, phase: BusPhase, t: f64) {
-        match phase {
-            BusPhase::Input => {
-                let d = self.states[w].jobs[j].timing[k].compute_s;
-                self.push(t + d, EventKind::ComputeDone { w, j, k });
-            }
-            BusPhase::Stream => {
-                let d = self.states[w].jobs[j].timing[k].output_s;
-                self.request_bus(
-                    BusRequest {
-                        w,
-                        j,
-                        k,
-                        phase: BusPhase::Output,
-                        duration: d,
-                    },
-                    t,
-                );
-            }
-            BusPhase::Output => self.finish_stage(w, j, k, t),
-        }
-    }
-
-    fn finish_stage(&mut self, w: usize, j: usize, k: usize, t: f64) {
-        self.devices[k].busy = false;
-        if let Some((nw, nj)) = self.devices[k].queue.pop_front() {
-            if k == 0 {
-                let st = &mut self.states[nw];
-                st.waiting_stage0 -= st.jobs[nj].members.len();
-            }
-            self.seize_device(nw, nj, k, t);
-        }
-        if k + 1 < self.states[w].pipeline_stages(j) {
-            self.join_device(w, j, k + 1, t);
-        } else {
-            self.complete_job(w, j, t);
-        }
-    }
-
-    fn complete_job(&mut self, w: usize, j: usize, t: f64) {
-        let tenants = self.tenants_cfg;
-        let st = &mut self.states[w];
-        let job = st.jobs.remove(j).expect("completing job is live");
-        for &r in job.members.as_slice() {
-            st.completed_at[r] = t;
-        }
-        let members = job.members.len();
-        st.done_requests += members;
-        // the drift window tracks the current partition's stage count;
-        // jobs formed before a swap may be shorter or longer — compare
-        // only shape-matching observations
-        if job.timing.len() == st.window.busy_s.len() {
-            st.scratch_holds.clear();
-            st.scratch_holds.extend(job.timing.iter().map(|s| s.hold_s));
-            st.window.observe(&st.scratch_holds, members);
-        }
-        if let Some(rep) = tenants[w].repartitioner.as_ref() {
-            if st.window.jobs >= rep.policy.window_jobs {
-                self.evaluate_drift(w, t, rep);
-            }
-        }
-    }
-
-    fn evaluate_drift(&mut self, w: usize, t: f64, rep: &Repartitioner) {
-        let spec = self.spec;
-        let batch = self.tenants_cfg[w].batch;
-        let st = &mut self.states[w];
-        // A well-partitioned pipeline spends equal busy time per stage
-        // (the objective is the bottleneck); measured skew against that
-        // balanced ideal is capacity left on the table. The compiled
-        // schedule's own belief is enforced downstream: if no better
-        // partition exists the refiner returns no gain and no swap
-        // happens (min_gain gate).
-        let uniform = vec![1.0; st.window.busy_s.len()];
-        let divergence = st.window.divergence(&uniform);
-        st.window.reset();
-        if divergence <= rep.policy.threshold || st.repartition_attempts >= rep.policy.max_swaps {
-            return;
-        }
-        st.repartition_attempts += 1;
-        let from_obj = rep.model.objective(&rep.dag, &st.pipeline.schedule);
-        let out = repartition::refine(
-            &rep.dag,
-            rep.model,
-            &st.pipeline.schedule,
-            rep.policy.passes,
-        );
-        if out.objective >= from_obj * (1.0 - rep.policy.min_gain) {
-            return;
-        }
-        let new_pipeline = compile::compile(&rep.dag, &out.schedule, spec)
-            .expect("refined schedule stays valid for the tenant's dag");
-        debug_assert_eq!(
-            new_pipeline.segments.len(),
-            st.pipeline.segments.len(),
-            "refinement preserves the stage count"
-        );
-        st.pipeline = new_pipeline;
-        st.base_hold_s = base_holds(&st.pipeline, spec, batch);
-        st.bottleneck_hold_s = st.base_hold_s.iter().copied().fold(0.0, f64::max);
-        st.window = DriftWindow::new(st.base_hold_s.len());
-        // memoized timings describe the swapped-out pipeline; in-flight
-        // jobs keep their own Rc snapshot, new jobs must recompute
-        st.timing_cache.clear();
-        st.swaps.push(SwapRecord {
-            at_s: t,
-            from_objective: from_obj,
-            to_objective: out.objective,
-            moves: out.moves,
-        });
     }
 
     fn finalize(self) -> ServeReport {
-        let mut reports = Vec::with_capacity(self.tenants_cfg.len());
-        for (tcfg, st) in self.tenants_cfg.iter().zip(&self.states) {
-            let n_adm = st.admitted.len();
-            debug_assert_eq!(n_adm + st.shed, tcfg.requests, "every request disposed");
-            if n_adm == 0 {
-                reports.push(TenantServeReport {
-                    offered: tcfg.requests,
-                    admitted: 0,
-                    shed: st.shed,
-                    jobs: 0,
-                    mean_job_requests: 0.0,
-                    measured_requests: 0,
-                    total_s: 0.0,
-                    mean_latency_s: 0.0,
-                    max_latency_s: 0.0,
-                    throughput_ips: 0.0,
-                    histogram: LatencyHistogram::new(),
-                    swaps: st.swaps.clone(),
-                    completions: Vec::new(),
-                });
-                continue;
-            }
-            let warm = tcfg.warmup.min(n_adm - 1);
-            let total_s = st.completed_at[*st.admitted.last().expect("nonempty")];
-            let window_start = if warm == 0 {
-                0.0
-            } else {
-                st.completed_at[st.admitted[warm - 1]]
-            };
-            let measured = n_adm - warm;
-            let measured_inferences = measured * tcfg.batch;
-            let window_s = total_s - window_start;
-            let throughput_ips = if window_s > 0.0 {
-                measured_inferences as f64 / window_s
-            } else {
-                f64::INFINITY
-            };
-            let mut lat_sum = 0.0;
-            let mut lat_max = 0.0f64;
-            let mut histogram = LatencyHistogram::new();
-            for &r in &st.admitted[warm..] {
-                let lat = st.completed_at[r] - st.arrivals_at[r];
-                lat_sum += lat;
-                lat_max = lat_max.max(lat);
-                histogram.record(lat);
-            }
-            let completions = if self.cfg.record_completions {
-                st.admitted
-                    .iter()
-                    .map(|&r| CompletionRecord {
-                        request: r,
-                        batch: tcfg.batch,
-                        arrival_s: st.arrivals_at[r],
-                        completed_s: st.completed_at[r],
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            reports.push(TenantServeReport {
-                offered: tcfg.requests,
-                admitted: n_adm,
-                shed: st.shed,
-                jobs: st.jobs_executed,
-                mean_job_requests: n_adm as f64 / st.jobs_executed as f64,
-                measured_requests: measured,
-                total_s,
-                mean_latency_s: lat_sum / measured as f64,
-                max_latency_s: lat_max,
-                throughput_ips,
-                histogram,
-                swaps: st.swaps.clone(),
-                completions,
-            });
-        }
+        let active_power_w = self.chain.spec().active_power_w;
+        let tenants = self
+            .tenants
+            .iter()
+            .zip(&self.recs)
+            .enumerate()
+            .map(|(w, (tcfg, recs))| {
+                tenant_report(
+                    tcfg,
+                    recs,
+                    self.chain.jobs_executed(w),
+                    self.chain.swaps(w).to_vec(),
+                    self.chain.tenant_busy_s(w) * active_power_w,
+                    self.cfg.record_completions,
+                )
+            })
+            .collect();
         ServeReport {
-            tenants: reports,
+            tenants,
             makespan_s: self.now,
-            bus_busy_s: self.bus.busy_s,
+            bus_busy_s: self.chain.bus_busy_s(),
             events: self.events,
         }
     }
 }
 
-impl TenantState {
-    /// Stage count of job `j` (its snapshot, not the current pipeline:
-    /// in-flight jobs finish on the partition they were formed under).
-    fn pipeline_stages(&self, j: usize) -> usize {
-        self.jobs[j].timing.len()
-    }
-}
-
-/// Runs the serving runtime for `tenants` co-resident on one device
-/// chain under `cfg`.
-///
-/// # Errors
-///
-/// Returns a [`ServeError`] if any tenant is degenerate (zero requests,
-/// zero batch, empty pipeline, bad arrival/batch/admission parameters,
-/// a repartitioner whose dag does not match the deployed schedule) or
-/// if no tenants are supplied. Nothing is simulated on error.
-pub fn serve(
-    tenants: &[ServeTenant],
-    spec: &DeviceSpec,
-    cfg: &ServeConfig,
-) -> Result<ServeReport, ServeError> {
+/// Rejects degenerate tenants — the shared front door of [`serve`] and
+/// `fleet::serve_fleet`.
+pub(crate) fn validate_tenants(tenants: &[ServeTenant]) -> Result<(), ServeError> {
     if tenants.is_empty() {
         return Err(ServeError::NoTenants);
     }
@@ -1093,10 +701,26 @@ pub fn serve(
             }
         }
     }
+    Ok(())
+}
+
+/// Runs the serving runtime for `tenants` co-resident on one device
+/// chain under `cfg`.
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] if any tenant is degenerate (zero requests,
+/// zero batch, empty pipeline, bad arrival/batch/admission parameters,
+/// a repartitioner whose dag does not match the deployed schedule) or
+/// if no tenants are supplied. Nothing is simulated on error.
+pub fn serve(
+    tenants: &[ServeTenant],
+    spec: &DeviceSpec,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    validate_tenants(tenants)?;
     Ok(match cfg.queue {
-        QueueKind::BinaryHeap => {
-            Engine::<BinaryHeapQueue<EventKind>>::new(tenants, spec, *cfg).run()
-        }
-        QueueKind::Calendar => Engine::<CalendarQueue<EventKind>>::new(tenants, spec, *cfg).run(),
+        QueueKind::BinaryHeap => Driver::<BinaryHeapQueue<Event>>::new(tenants, spec, *cfg).run(),
+        QueueKind::Calendar => Driver::<CalendarQueue<Event>>::new(tenants, spec, *cfg).run(),
     })
 }

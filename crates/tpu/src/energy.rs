@@ -13,6 +13,46 @@ use crate::compile::CompiledPipeline;
 use crate::device::DeviceSpec;
 use crate::exec::InferenceReport;
 
+/// Busy/idle energy split of one device chain over a serving span.
+///
+/// Produced by [`serving_energy`] from measured device busy time; the
+/// serving runtime (`respect_serve`) attaches one per chain so fleet
+/// sweeps over heterogeneous [`DeviceSpec`]s can compare joules per
+/// request chain by chain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTotals {
+    /// Energy drawn while computing or transferring, joules.
+    pub busy_j: f64,
+    /// Energy drawn while powered but waiting, joules.
+    pub idle_j: f64,
+}
+
+impl EnergyTotals {
+    /// Total energy over the span, joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.busy_j + self.idle_j
+    }
+}
+
+/// Energy of `devices` devices of one chain that were powered for
+/// `span_s` seconds and measured `busy_s` total device-busy seconds
+/// (summed across the chain's devices).
+///
+/// Busy seconds draw [`DeviceSpec::active_power_w`]; the remaining
+/// powered-but-waiting seconds (`devices × span_s − busy_s`, clamped at
+/// zero) draw [`DeviceSpec::idle_power_w`]. A chain that was never
+/// powered (`span_s = 0`) costs nothing — the accounting a fleet
+/// autoscaler needs for spun-down replicas.
+#[must_use]
+pub fn serving_energy(spec: &DeviceSpec, devices: usize, busy_s: f64, span_s: f64) -> EnergyTotals {
+    let idle_s = (devices as f64 * span_s - busy_s).max(0.0);
+    EnergyTotals {
+        busy_j: spec.active_power_w * busy_s,
+        idle_j: spec.idle_power_w * idle_s,
+    }
+}
+
 /// Energy accounting for one simulated inference stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnergyReport {
@@ -90,6 +130,33 @@ mod tests {
         let (e1, _) = run(4, 100);
         let (e2, _) = run(4, 1000);
         assert!(e2.total_j > 5.0 * e1.total_j);
+    }
+
+    #[test]
+    fn serving_energy_splits_busy_and_idle() {
+        let spec = DeviceSpec::coral();
+        let e = serving_energy(&spec, 4, 3.0, 10.0);
+        assert!((e.busy_j - spec.active_power_w * 3.0).abs() < 1e-12);
+        assert!((e.idle_j - spec.idle_power_w * 37.0).abs() < 1e-12);
+        assert!((e.total_j() - (e.busy_j + e.idle_j)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serving_energy_of_unpowered_chain_is_zero() {
+        let spec = DeviceSpec::coral();
+        let e = serving_energy(&spec, 8, 0.0, 0.0);
+        assert_eq!(e.busy_j, 0.0);
+        assert_eq!(e.idle_j, 0.0);
+    }
+
+    #[test]
+    fn serving_energy_clamps_idle_at_zero() {
+        // busy_s can exceed devices × span_s only through rounding; the
+        // clamp keeps idle energy non-negative regardless.
+        let spec = DeviceSpec::coral();
+        let e = serving_energy(&spec, 1, 2.0, 1.0);
+        assert_eq!(e.idle_j, 0.0);
+        assert!(e.busy_j > 0.0);
     }
 
     #[test]

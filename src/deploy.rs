@@ -38,6 +38,7 @@
 //! | [`Deployment::simulate`] | `exec::simulate(..)` |
 //! | [`Deployment::simulate_workloads`] | `sim::run(..)` |
 //! | [`Deployment::serve`] | `serve::serve(..)` |
+//! | [`Deployment::serve_fleet`] | `serve::fleet::serve_fleet(..)` |
 
 use std::sync::OnceLock;
 use std::time::Duration;
@@ -46,7 +47,10 @@ use respect_core::{train_policy, PtrNetPolicy, RespectScheduler, TrainConfig};
 use respect_graph::Dag;
 use respect_sched::registry::{BuildOptions, Registry};
 use respect_sched::{CostModel, Schedule, Scheduler};
-use respect_serve::{self as serve_rt, Repartitioner, ServeConfig, ServeReport, ServeTenant};
+use respect_serve::{
+    self as serve_rt, AutoscalePolicy, FleetConfig, FleetReport, Repartitioner, RouterPolicy,
+    ServeConfig, ServeReport, ServeTenant,
+};
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::exec::InferenceReport;
 use respect_tpu::profiling::ProfilingPartitioner;
@@ -111,6 +115,10 @@ pub struct DeploymentBuilder<'a> {
     iterations: Option<usize>,
     time_budget: Option<Duration>,
     scheduler: Option<Box<dyn Scheduler>>,
+    fleet_n: usize,
+    fleet_chains: Option<Vec<DeviceSpec>>,
+    router: RouterPolicy,
+    autoscale: Option<AutoscalePolicy>,
 }
 
 impl<'a> DeploymentBuilder<'a> {
@@ -124,6 +132,10 @@ impl<'a> DeploymentBuilder<'a> {
             iterations: None,
             time_budget: None,
             scheduler: None,
+            fleet_n: 1,
+            fleet_chains: None,
+            router: RouterPolicy::default(),
+            autoscale: None,
         }
     }
 
@@ -174,6 +186,33 @@ impl<'a> DeploymentBuilder<'a> {
         self
     }
 
+    /// Serves over a homogeneous fleet of `n` chains of the deployment's
+    /// device (see [`Deployment::serve_fleet`]). Default 1.
+    pub fn fleet(mut self, n: usize) -> Self {
+        self.fleet_n = n;
+        self
+    }
+
+    /// Serves over a heterogeneous fleet with one [`DeviceSpec`] per
+    /// chain. Overrides [`DeploymentBuilder::fleet`].
+    pub fn chains(mut self, chains: &[DeviceSpec]) -> Self {
+        self.fleet_chains = Some(chains.to_vec());
+        self
+    }
+
+    /// Sets the fleet's request router. Default
+    /// [`RouterPolicy::RoundRobin`].
+    pub fn router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Enables backlog-driven fleet autoscaling.
+    pub fn autoscale(mut self, autoscale: AutoscalePolicy) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
     /// Schedules and compiles: resolve the partitioner, compute the
     /// stage assignment, and compile it for the device chain.
     ///
@@ -199,11 +238,21 @@ impl<'a> DeploymentBuilder<'a> {
         };
         let schedule = scheduler.schedule(self.dag, self.stages)?;
         let pipeline = compile::compile(self.dag, &schedule, &self.spec)?;
+        let chains = self
+            .fleet_chains
+            .unwrap_or_else(|| vec![self.spec; self.fleet_n]);
+        let mut fleet = FleetConfig::homogeneous(0, self.spec)
+            .with_chains(chains)
+            .with_router(self.router);
+        if let Some(autoscale) = self.autoscale {
+            fleet = fleet.with_autoscale(autoscale);
+        }
         Ok(Deployment {
             dag: self.dag.clone(),
             spec: self.spec,
             pipeline,
             scheduler_name: scheduler.name().to_string(),
+            fleet,
         })
     }
 }
@@ -216,6 +265,7 @@ pub struct Deployment {
     spec: DeviceSpec,
     pipeline: CompiledPipeline,
     scheduler_name: String,
+    fleet: FleetConfig,
 }
 
 impl Deployment {
@@ -320,5 +370,43 @@ impl Deployment {
     /// [`Error::Serve`] for degenerate tenants; see [`serve_rt::serve`].
     pub fn serve(&self, tenants: &[ServeTenant], cfg: &ServeConfig) -> Result<ServeReport, Error> {
         Ok(serve_rt::serve(tenants, &self.spec, cfg)?)
+    }
+
+    /// The fleet configuration assembled from the builder's
+    /// [`DeploymentBuilder::fleet`] / [`DeploymentBuilder::chains`] /
+    /// [`DeploymentBuilder::router`] / [`DeploymentBuilder::autoscale`]
+    /// hooks. Clone and extend it (e.g.
+    /// `FleetConfig::with_contended_bus`) for switches the builder does
+    /// not expose, then call [`Deployment::serve_fleet_with`].
+    pub fn fleet_config(&self) -> &FleetConfig {
+        &self.fleet
+    }
+
+    /// Runs the fleet serving runtime for `tenants` over the configured
+    /// fleet. Identical to [`serve_rt::serve_fleet`] on
+    /// [`Deployment::fleet_config`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Serve`] for degenerate tenants or fleet configs; see
+    /// [`serve_rt::serve_fleet`].
+    pub fn serve_fleet(&self, tenants: &[ServeTenant]) -> Result<FleetReport, Error> {
+        Ok(serve_rt::serve_fleet(tenants, &self.fleet)?)
+    }
+
+    /// Runs the fleet serving runtime for `tenants` under an explicit
+    /// `cfg`, bypassing the builder hooks. Identical to
+    /// [`serve_rt::serve_fleet`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Serve`] for degenerate tenants or fleet configs; see
+    /// [`serve_rt::serve_fleet`].
+    pub fn serve_fleet_with(
+        &self,
+        tenants: &[ServeTenant],
+        cfg: &FleetConfig,
+    ) -> Result<FleetReport, Error> {
+        Ok(serve_rt::serve_fleet(tenants, cfg)?)
     }
 }

@@ -1,0 +1,132 @@
+//! Fleet-sweep golden regression: the quick `reproduce -- fleet` sweep
+//! is pinned to a checked-in golden file, so any drift in the fleet
+//! layer (router, autoscaler, energy accounting), the chain engine, or
+//! the simulator timing model fails loudly instead of silently shifting
+//! the reported numbers.
+//!
+//! Every arrival process and router in the sweep is seeded (diurnal
+//! thinning included), so each metric is pure IEEE-754 arithmetic over
+//! the device constants and is compared **bitwise** (the
+//! `serve_golden` / Table I discipline).
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! RESPECT_REGEN_GOLDEN=1 cargo test --test fleet_golden
+//! git diff tests/golden/fleet_sweep.tsv   # review the drift!
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use respect_bench::experiments::{fleet_sweep, FleetSweepRow};
+
+const GOLDEN_PATH: &str = "tests/golden/fleet_sweep.tsv";
+
+fn render(rows: &[FleetSweepRow]) -> String {
+    let mut out = String::from(
+        "# model\tchains\trouter\tload\tadmitted\tshed\tscale\tthr_bits\tp99_bits\tenergy_bits\tthr_ips\tp99_ms\tenergy_j\n\
+         # Regenerate with RESPECT_REGEN_GOLDEN=1 cargo test --test fleet_golden\n",
+    );
+    for r in rows {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{:.1}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{:016x}\t{:.17e}\t{:.17e}\t{:.17e}",
+            r.name,
+            r.chains,
+            r.router,
+            r.load,
+            r.admitted,
+            r.shed,
+            r.scale_events,
+            r.throughput_ips.to_bits(),
+            r.p99_ms.to_bits(),
+            r.energy_j.to_bits(),
+            r.throughput_ips,
+            r.p99_ms,
+            r.energy_j,
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn fleet_sweep_matches_golden_file() {
+    let rows = fleet_sweep(true);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let rendered = render(&rows);
+    if std::env::var_os("RESPECT_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("regenerated {GOLDEN_PATH} with {} rows", rows.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{GOLDEN_PATH} unreadable ({e}); regenerate it"));
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let (want, got) = (strip(&golden), strip(&rendered));
+    assert_eq!(
+        want.len(),
+        got.len(),
+        "golden file has {} rows, run produced {}",
+        want.len(),
+        got.len()
+    );
+    let drifted: Vec<String> = want
+        .iter()
+        .zip(&got)
+        .filter(|(w, g)| w != g)
+        .map(|(w, g)| format!("pinned: {w}\n   got: {g}"))
+        .collect();
+    assert!(
+        drifted.is_empty(),
+        "fleet sweep drift against {GOLDEN_PATH} — review and regenerate if intentional:\n{}",
+        drifted.join("\n")
+    );
+}
+
+#[test]
+fn fleet_sweep_sanity_chains_scale_and_routers_agree_on_one_chain() {
+    let rows = fleet_sweep(true);
+    let find = |chains: usize, router: &str, load: f64| {
+        rows.iter()
+            .find(|r| {
+                r.name == "DenseNet121"
+                    && r.chains == chains
+                    && r.router == router
+                    && r.load == load
+            })
+            .unwrap()
+    };
+    // on one chain every router is the identity: identical runs
+    for load in [0.8, 1.5] {
+        let rr = find(1, "rr", load);
+        for router in ["jsb", "p2c", "jsb+auto"] {
+            let other = find(1, router, load);
+            assert_eq!(other.admitted, rr.admitted);
+            assert_eq!(
+                other.throughput_ips.to_bits(),
+                rr.throughput_ips.to_bits(),
+                "{router} diverged from rr on a single chain"
+            );
+        }
+    }
+    // more chains means real horizontal scaling under overload
+    let (one, four) = (find(1, "jsb", 1.5), find(4, "jsb", 1.5));
+    assert!(
+        four.throughput_ips > 3.0 * one.throughput_ips,
+        "4-chain goodput {:.0} should be ~4x one chain's {:.0}",
+        four.throughput_ips,
+        one.throughput_ips
+    );
+    assert!(four.shed < one.shed);
+    // the autoscaled variant actually scaled, and an always-on fleet
+    // never records scale events
+    assert!(find(4, "jsb+auto", 1.5).scale_events > 0);
+    assert_eq!(find(4, "jsb", 1.5).scale_events, 0);
+}
