@@ -1,0 +1,128 @@
+//! `respect-test` — the `.scn` conformance runner.
+//!
+//! ```text
+//! cargo run --release -p respect_bench --bin respect-test -- tests/scn
+//! cargo run --release -p respect_bench --bin respect-test -- tests/scn --quick
+//! cargo run --release -p respect_bench --bin respect-test -- tests/scn --filter fleet
+//! cargo run --release -p respect_bench --bin respect-test -- tests/scn --list
+//! ```
+//!
+//! Discovers every `.scn` file under the given directory (or runs a
+//! single file), executes each scenario deterministically, and prints
+//! per-assertion pass/fail with actual-vs-expected evidence. Exits
+//! nonzero when any assertion fails or any file errors. `--quick`
+//! skips scenarios tagged `slow`; `--filter <substr>` runs only
+//! matching paths; `--list` prints the discovered files and their
+//! scenario names without running anything.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use respect_scn::{discover, run_suite, FileOutcome, RunnerOptions};
+
+const USAGE: &str = "usage: respect-test <dir|file.scn> [--filter <substr>] [--list] [--quick]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut opts = RunnerOptions::default();
+    let mut list = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--list" => list = true,
+            "--filter" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => opts.filter = Some(v.clone()),
+                    None => return fail("--filter needs a substring"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            a if a.starts_with("--") => return fail(&format!("unknown flag `{a}`")),
+            a => {
+                if root.replace(PathBuf::from(a)).is_some() {
+                    return fail("give exactly one <dir|file.scn>");
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(root) = root else {
+        return fail("missing <dir|file.scn>");
+    };
+    if !root.exists() {
+        return fail(&format!("no such path: {}", root.display()));
+    }
+    if list {
+        return list_files(&root);
+    }
+    run(&root, &opts)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("respect-test: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn list_files(root: &Path) -> ExitCode {
+    let files = match discover(root) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("{}: {e}", root.display())),
+    };
+    for path in &files {
+        let name = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|src| respect_scn::parse(&src).ok())
+            .and_then(|s| s.name);
+        match name {
+            Some(n) => println!("{}  ({n})", path.display()),
+            None => println!("{}", path.display()),
+        }
+    }
+    println!("{} scenario file(s)", files.len());
+    ExitCode::SUCCESS
+}
+
+fn run(root: &Path, opts: &RunnerOptions) -> ExitCode {
+    let suite = match run_suite(root, opts) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("{}: {e}", root.display())),
+    };
+    if suite.files.is_empty() {
+        return fail(&format!("no .scn files under {}", root.display()));
+    }
+    for file in &suite.files {
+        let path = file.path.display();
+        match &file.outcome {
+            FileOutcome::Passed { name, assertions } => {
+                let label = name.as_deref().unwrap_or("unnamed");
+                println!("PASS {path} ({label}, {} assertion(s))", assertions.len());
+            }
+            FileOutcome::Failed { name, assertions } => {
+                let label = name.as_deref().unwrap_or("unnamed");
+                println!("FAIL {path} ({label})");
+                for a in assertions {
+                    let mark = if a.passed { "ok  " } else { "FAIL" };
+                    println!("  {mark} line {}: {}", a.line, a.text);
+                    println!("         {}", a.detail);
+                }
+            }
+            FileOutcome::Skipped { reason } => println!("SKIP {path} ({reason})"),
+            FileOutcome::Error(e) => println!("ERROR {path}: {e}"),
+            FileOutcome::Io(e) => println!("ERROR {path}: {e}"),
+        }
+    }
+    let (passed, failed, skipped, errored) = suite.tally();
+    println!("{passed} passed, {failed} failed, {skipped} skipped, {errored} errored");
+    if suite.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration tests of the `respect-test` binary: exit codes, the
+//! actual-vs-expected failure report (driven by the checked-in
+//! deliberately-failing fixture), discovery, `--list`, `--filter`, and
+//! `--quick`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn respect_test(args: &[&str], cwd: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_respect-test"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("respect-test must spawn")
+}
+
+/// The workspace root (this crate lives at `crates/bench`).
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+fn fixture_dir() -> PathBuf {
+    workspace_root().join("crates/scn/tests/fixtures")
+}
+
+#[test]
+fn failing_fixture_exits_nonzero_with_actual_vs_expected() {
+    let root = workspace_root();
+    let out = respect_test(
+        &["crates/scn/tests/fixtures/deliberately_failing.scn"],
+        &root,
+    );
+    assert!(
+        !out.status.success(),
+        "a failing assertion must produce a nonzero exit"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("FAIL"),
+        "failure must be reported:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("assert tenant0.throughput < 0"),
+        "the failing assertion must be printed:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("lhs = ") && stdout.contains("rhs = 0"),
+        "actual-vs-expected evidence must be printed:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("1 failed"),
+        "tally must count it:\n{stdout}"
+    );
+}
+
+#[test]
+fn quick_corpus_passes_with_zero_exit() {
+    let root = workspace_root();
+    let out = respect_test(&["tests/scn", "--quick"], &root);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        out.status.success(),
+        "the checked-in corpus must pass under --quick:\n{stdout}"
+    );
+    assert!(stdout.contains("0 failed"), "tally:\n{stdout}");
+    assert!(
+        stdout.contains("tagged slow (--quick)"),
+        "slow scenarios must be skipped, not run:\n{stdout}"
+    );
+}
+
+#[test]
+fn filter_skips_non_matching_files() {
+    let out = respect_test(
+        &["tests/scn", "--quick", "--filter", "table1"],
+        &workspace_root(),
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("2 passed"),
+        "both Table I scenarios:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("does not match --filter table1"),
+        "non-matching files must be skipped:\n{stdout}"
+    );
+}
+
+#[test]
+fn list_prints_paths_and_scenario_names_without_running() {
+    let out = respect_test(&["--list", "."], &fixture_dir());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "--list must not execute scenarios");
+    assert!(
+        stdout.contains("deliberately_failing.scn"),
+        "discovered file:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("(deliberately-failing)"),
+        "scenario name:\n{stdout}"
+    );
+    assert!(stdout.contains("scenario file(s)"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let root = workspace_root();
+    let out = respect_test(&[], &root);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"), "{err}");
+
+    let out = respect_test(&["tests/scn", "--frobnicate"], &root);
+    assert!(!out.status.success());
+
+    let out = respect_test(&["no/such/path.scn"], &root);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn parse_error_is_reported_with_position() {
+    let dir = std::env::temp_dir().join("respect_test_cli_parse_error");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("bad.scn");
+    std::fs::write(&file, "model resnet50\nfrobnicate\n").unwrap();
+    let out = respect_test(&[file.to_str().unwrap()], &workspace_root());
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("2:1: unknown directive `frobnicate`"),
+        "line:col diagnostic must surface:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

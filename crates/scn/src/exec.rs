@@ -1,0 +1,492 @@
+//! Scenario execution: compile the [`Scenario`] into the *same*
+//! [`Deployment`] the fluent facade builds, drive the declared engine,
+//! and evaluate the assertions against the report.
+//!
+//! The interpreter adds no engine of its own — `run sim` literally
+//! calls [`Deployment::simulate_workloads`], `run serve` calls
+//! [`Deployment::serve`], `run fleet` calls [`Deployment::serve_fleet`]
+//! — so a `.scn` file is **bitwise-identical** to its hand-wired Rust
+//! twin by construction (property-pinned in `tests/scn_equivalence.rs`).
+
+use std::time::Duration;
+
+use respect::deploy::Deployment;
+use respect::serve::{
+    AdmissionPolicy, AutoscalePolicy, BatchPolicy, FleetReport, RouterPolicy, ServeConfig,
+    ServeReport, ServeTenant,
+};
+use respect::tpu::sim::{Arrivals, SimConfig, SimReport, Workload};
+use respect_graph::generate::{SyntheticConfig, SyntheticSampler};
+use respect_graph::{models, Dag};
+
+use crate::ast::{
+    AdmissionSpec, Assertion, AssertionKind, Engine, Expr, MetricRef, ModelSpec, RouterSpec,
+    Scenario, Scope, TenantSpec,
+};
+use crate::ScnError;
+
+/// The engine report a scenario produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutput {
+    /// `run sim` → [`SimReport`].
+    Sim(SimReport),
+    /// `run serve` → [`ServeReport`].
+    Serve(ServeReport),
+    /// `run fleet` → [`FleetReport`].
+    Fleet(FleetReport),
+}
+
+/// The outcome of one assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssertionOutcome {
+    /// Source line of the assertion.
+    pub line: usize,
+    /// The assertion, rendered canonically.
+    pub text: String,
+    /// Did it hold?
+    pub passed: bool,
+    /// Actual-vs-expected evidence (`lhs = 0.184, rhs = 0.12`).
+    pub detail: String,
+}
+
+/// A fully-executed scenario: the report plus per-assertion outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRun {
+    /// Abstract bottleneck objective of the deployed schedule.
+    pub objective: f64,
+    /// Pipeline stage count of the deployment.
+    pub stages: usize,
+    /// The engine report.
+    pub output: RunOutput,
+    /// One outcome per assertion, in source order.
+    pub assertions: Vec<AssertionOutcome>,
+}
+
+impl ScenarioRun {
+    /// `true` when every assertion held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.assertions.iter().all(|a| a.passed)
+    }
+
+    /// The assertions that failed, in source order.
+    pub fn failures(&self) -> impl Iterator<Item = &AssertionOutcome> {
+        self.assertions.iter().filter(|a| !a.passed)
+    }
+}
+
+/// Mean offered rate of an open-loop arrival process (requests per
+/// second), used to size `run until t=` request counts.
+fn mean_rate(arrivals: &Arrivals) -> Option<f64> {
+    match *arrivals {
+        Arrivals::ClosedLoop => None,
+        Arrivals::Periodic { rate } | Arrivals::Poisson { rate, .. } => Some(rate),
+        Arrivals::Mmpp {
+            low_rate,
+            high_rate,
+            ..
+        } => Some(0.5 * (low_rate + high_rate)),
+        Arrivals::Diurnal { mean_rate, .. } => Some(mean_rate),
+    }
+}
+
+/// Resolves one tenant's request count: explicit `requests`, else the
+/// run-level `requests=` default, else `ceil(mean_rate × until)` for an
+/// open-loop process.
+pub(crate) fn effective_requests(s: &Scenario, t: &TenantSpec) -> Result<usize, ScnError> {
+    if let Some(n) = t.requests {
+        return Ok(n);
+    }
+    if let Some(n) = s.run.requests {
+        return Ok(n);
+    }
+    if let Some(horizon) = s.run.until_s {
+        let Some(rate) = mean_rate(&t.arrivals) else {
+            return Err(ScnError::at(
+                t.pos.line,
+                t.pos.col,
+                "closed-loop tenant has no request count (give `requests` or `run requests=`)",
+            ));
+        };
+        return Ok(((rate * horizon).ceil() as usize).max(1));
+    }
+    Err(ScnError::at(
+        t.pos.line,
+        t.pos.col,
+        "tenant has no request count (give `requests`, `run requests=`, or `run until t=`)",
+    ))
+}
+
+impl Scenario {
+    /// Builds the scenario's model graph.
+    #[must_use]
+    pub fn dag(&self) -> Dag {
+        match &self.model {
+            ModelSpec::Named(name) => match name.as_str() {
+                "xception" => models::xception(),
+                "resnet50" => models::resnet50(),
+                "resnet101" => models::resnet101(),
+                "resnet152" => models::resnet152(),
+                "densenet121" => models::densenet121(),
+                "resnet101v2" => models::resnet101v2(),
+                "resnet152v2" => models::resnet152v2(),
+                "densenet169" => models::densenet169(),
+                "densenet201" => models::densenet201(),
+                "inception_resnet_v2" => models::inception_resnet_v2(),
+                "resnet50v2" => models::resnet50v2(),
+                "inception_v3" => models::inception_v3(),
+                other => unreachable!("parser admits only known models, got {other}"),
+            },
+            ModelSpec::Random { seed, nodes, deg } => {
+                let cfg = SyntheticConfig {
+                    num_nodes: *nodes,
+                    ..SyntheticConfig::paper(*deg)
+                };
+                SyntheticSampler::new(cfg, *seed).sample()
+            }
+        }
+    }
+
+    /// Builds the [`Deployment`] exactly as the fluent facade would:
+    /// same builder, same defaults, same scheduler resolution.
+    ///
+    /// # Errors
+    ///
+    /// [`ScnError`] at the `scheduler` directive when scheduling fails
+    /// (e.g. an exhausted solver budget).
+    pub fn deployment(&self, dag: &Dag) -> Result<Deployment, ScnError> {
+        let mut b = Deployment::of(dag)
+            .stages(self.stages)
+            .partitioner(&self.scheduler.name);
+        if let Some(seed) = self.scheduler.seed {
+            b = b.seed(seed);
+        }
+        if let Some(iters) = self.scheduler.iterations {
+            b = b.iterations(iters);
+        }
+        if let Some(budget) = self.scheduler.budget_s {
+            b = b.time_budget(Duration::from_secs_f64(budget));
+        }
+        if self.run.engine == Engine::Fleet {
+            b = b.fleet(self.chains);
+            if let Some(router) = self.router {
+                b = b.router(match router {
+                    RouterSpec::RoundRobin => RouterPolicy::RoundRobin,
+                    RouterSpec::Shortest => RouterPolicy::JoinShortestBacklog,
+                    RouterSpec::P2c { seed } => RouterPolicy::PowerOfTwoChoices { seed },
+                    RouterSpec::Affinity => RouterPolicy::Affinity,
+                });
+            }
+            if let Some(a) = self.autoscale {
+                b = b.autoscale(
+                    AutoscalePolicy::new()
+                        .with_min_chains(a.min)
+                        .with_scale_up_s(a.up_s)
+                        .with_scale_down_s(a.down_s)
+                        .with_check_jobs(a.check),
+                );
+            }
+            if self.contended_bus {
+                b = b.contended_bus();
+            }
+        }
+        b.build().map_err(|e| {
+            ScnError::at(
+                self.scheduler.pos.line,
+                self.scheduler.pos.col,
+                format!("{e}"),
+            )
+        })
+    }
+
+    /// One tenant as a raw-simulator [`Workload`].
+    fn workload(&self, d: &Deployment, t: &TenantSpec) -> Result<Workload, ScnError> {
+        Ok(
+            Workload::new(d.pipeline().clone(), effective_requests(self, t)?)
+                .with_arrivals(t.arrivals)
+                .with_batch(t.batch)
+                .with_warmup(t.warmup),
+        )
+    }
+
+    /// One tenant as a serving [`ServeTenant`].
+    fn serve_tenant(&self, d: &Deployment, t: &TenantSpec) -> Result<ServeTenant, ScnError> {
+        let mut st = ServeTenant::new(d.pipeline().clone(), effective_requests(self, t)?)
+            .with_arrivals(t.arrivals)
+            .with_batch(t.batch)
+            .with_warmup(t.warmup);
+        if let Some((max_batch, max_delay_s)) = t.batcher {
+            st = st.with_batcher(BatchPolicy::new(max_batch, max_delay_s));
+        }
+        if let Some(adm) = t.admission {
+            st = st.with_admission(match adm {
+                AdmissionSpec::Open => AdmissionPolicy::Open,
+                AdmissionSpec::QueueBound { max_waiting } => {
+                    AdmissionPolicy::QueueBound { max_waiting }
+                }
+                AdmissionSpec::SloDelay { target_s } => AdmissionPolicy::SloDelay { target_s },
+            });
+        }
+        if let Some(rep) = t.repartition {
+            let mut r = d.repartitioner();
+            if let Some(w) = rep.window {
+                r.policy = r.policy.with_window_jobs(w);
+            }
+            if let Some(th) = rep.threshold {
+                r.policy = r.policy.with_threshold(th);
+            }
+            if let Some(m) = rep.max_swaps {
+                r.policy = r.policy.with_max_swaps(m);
+            }
+            if let Some(g) = rep.min_gain {
+                r.policy = r.policy.with_min_gain(g);
+            }
+            st = st.with_repartitioner(r);
+        }
+        Ok(st)
+    }
+
+    /// Executes the scenario: build, run the engine, evaluate every
+    /// assertion. Deterministic — same text, same [`ScenarioRun`],
+    /// bitwise.
+    ///
+    /// # Errors
+    ///
+    /// [`ScnError`] when the deployment cannot be built or the engine
+    /// rejects the configuration (positions point at the responsible
+    /// directive).
+    pub fn execute(&self) -> Result<ScenarioRun, ScnError> {
+        let dag = self.dag();
+        let d = self.deployment(&dag)?;
+        let rpos = self.run.pos;
+        let engine_err = |e: respect::Error| ScnError::at(rpos.line, rpos.col, format!("{e}"));
+        let output = match self.run.engine {
+            Engine::Sim => {
+                let workloads: Vec<Workload> = self
+                    .tenants
+                    .iter()
+                    .map(|t| self.workload(&d, t))
+                    .collect::<Result<_, _>>()?;
+                let cfg = if self.contended_bus {
+                    SimConfig::contended()
+                } else {
+                    SimConfig::uncontended()
+                };
+                RunOutput::Sim(d.simulate_workloads(&workloads, &cfg).map_err(engine_err)?)
+            }
+            Engine::Serve => {
+                let tenants: Vec<ServeTenant> = self
+                    .tenants
+                    .iter()
+                    .map(|t| self.serve_tenant(&d, t))
+                    .collect::<Result<_, _>>()?;
+                let cfg = if self.contended_bus {
+                    ServeConfig::contended()
+                } else {
+                    ServeConfig::uncontended()
+                };
+                RunOutput::Serve(d.serve(&tenants, &cfg).map_err(engine_err)?)
+            }
+            Engine::Fleet => {
+                let tenants: Vec<ServeTenant> = self
+                    .tenants
+                    .iter()
+                    .map(|t| self.serve_tenant(&d, t))
+                    .collect::<Result<_, _>>()?;
+                RunOutput::Fleet(d.serve_fleet(&tenants).map_err(engine_err)?)
+            }
+        };
+        let run = ScenarioRun {
+            objective: d.objective(),
+            stages: d.num_stages(),
+            output,
+            assertions: Vec::new(),
+        };
+        let assertions = self.assertions.iter().map(|a| evaluate(a, &run)).collect();
+        Ok(ScenarioRun { assertions, ..run })
+    }
+}
+
+/// Evaluates one assertion against a completed run.
+fn evaluate(a: &Assertion, run: &ScenarioRun) -> AssertionOutcome {
+    match &a.kind {
+        AssertionKind::Compare { lhs, cmp, rhs } => {
+            let l = eval_expr(lhs, run);
+            let r = eval_expr(rhs, run);
+            AssertionOutcome {
+                line: a.pos.line,
+                text: Scenario::assertion_text(a),
+                passed: cmp.eval(l, r),
+                detail: format!("lhs = {l}, rhs = {r}"),
+            }
+        }
+        AssertionKind::Close {
+            value,
+            expected,
+            rtol,
+            atol,
+        } => {
+            let v = eval_expr(value, run);
+            let e = eval_expr(expected, run);
+            let tol = atol + rtol * e.abs();
+            let diff = (v - e).abs();
+            AssertionOutcome {
+                line: a.pos.line,
+                text: Scenario::assertion_text(a),
+                passed: diff <= tol,
+                detail: format!("actual = {v}, expected = {e}, |diff| = {diff}, tol = {tol}"),
+            }
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, run: &ScenarioRun) -> f64 {
+    match e {
+        Expr::Num(v) => *v,
+        Expr::Metric(m) => metric(m, run),
+        Expr::Binary(l, op, r) => {
+            let (l, r) = (eval_expr(l, run), eval_expr(r, run));
+            match op {
+                crate::ast::Op::Add => l + r,
+                crate::ast::Op::Sub => l - r,
+                crate::ast::Op::Mul => l * r,
+                crate::ast::Op::Div => l / r,
+            }
+        }
+        Expr::Neg(inner) => -eval_expr(inner, run),
+    }
+}
+
+/// Reads one report field. The parser guarantees scope/field validity
+/// for the engine that ran, so unknown combinations are unreachable.
+fn metric(m: &MetricRef, run: &ScenarioRun) -> f64 {
+    let f = m.field.as_str();
+    // deployment-level values are engine-independent
+    match f {
+        "obj" | "objective" if m.scope == Scope::Run => return run.objective,
+        "stages" if m.scope == Scope::Run => return run.stages as f64,
+        _ => {}
+    }
+    match (&run.output, m.scope) {
+        (RunOutput::Sim(r), Scope::Run) => match f {
+            "makespan" => r.makespan_s,
+            "events" => r.events as f64,
+            "bus_busy" => r.bus_busy_s,
+            _ => unreachable!("validated sim run metric {f}"),
+        },
+        (RunOutput::Sim(r), Scope::Tenant(i)) => {
+            let t = &r.tenants[i];
+            match f {
+                "requests" | "offered" => t.requests as f64,
+                "inferences" => t.inferences as f64,
+                "measured" => t.measured_inferences as f64,
+                "total" => t.total_s,
+                "first_latency" => t.first_latency_s,
+                "mean_latency" => t.mean_latency_s,
+                "max_latency" => t.max_latency_s,
+                "throughput" => t.throughput_ips,
+                _ => unreachable!("validated sim tenant metric {f}"),
+            }
+        }
+        (RunOutput::Serve(r), Scope::Run) => match f {
+            "makespan" => r.makespan_s,
+            "events" => r.events as f64,
+            "bus_busy" => r.bus_busy_s,
+            "offered" => r.offered() as f64,
+            "admitted" | "goodput" => r.admitted() as f64,
+            "shed" => r.shed() as f64,
+            "jobs" => r.tenants.iter().map(|t| t.jobs).sum::<usize>() as f64,
+            "swaps" => r.tenants.iter().map(|t| t.swaps.len()).sum::<usize>() as f64,
+            "energy" => r.tenants.iter().map(|t| t.active_energy_j).sum(),
+            "p50" => r.p50_s(),
+            "p95" => r.p95_s(),
+            "p99" => r.p99_s(),
+            "p999" => r.p999_s(),
+            "mean_latency" => mean_latency(
+                r.tenants
+                    .iter()
+                    .map(|t| (t.measured_requests, t.mean_latency_s)),
+            ),
+            _ => unreachable!("validated serve run metric {f}"),
+        },
+        (RunOutput::Serve(r), Scope::Tenant(i)) => serving_tenant_metric(&r.tenants[i], f),
+        (RunOutput::Fleet(r), Scope::Run) => match f {
+            "makespan" => r.makespan_s,
+            "events" => r.events as f64,
+            "bus_busy" => r.chains.iter().map(|c| c.bus_busy_s).sum(),
+            "offered" => r.offered() as f64,
+            "admitted" | "goodput" => r.admitted() as f64,
+            "shed" => r.shed() as f64,
+            "jobs" => r.chains.iter().map(|c| c.jobs).sum::<usize>() as f64,
+            "swaps" => r.chains.iter().map(|c| c.swaps).sum::<usize>() as f64,
+            "energy" => r.total_energy_j(),
+            "p50" => r.p50_s(),
+            "p95" => r.p95_s(),
+            "p99" => r.p99_s(),
+            "p999" => r.p999_s(),
+            "mean_latency" => mean_latency(
+                r.tenants
+                    .iter()
+                    .map(|t| (t.measured_requests, t.mean_latency_s)),
+            ),
+            "chains" => r.chains.len() as f64,
+            "chains_powered" => r.chains.iter().filter(|c| c.powered_s > 0.0).count() as f64,
+            "scale_events" => r.scale_events.len() as f64,
+            _ => unreachable!("validated fleet run metric {f}"),
+        },
+        (RunOutput::Fleet(r), Scope::Tenant(i)) => serving_tenant_metric(&r.tenants[i], f),
+        (RunOutput::Fleet(r), Scope::Chain(i)) => {
+            let c = &r.chains[i];
+            match f {
+                "admitted" => c.admitted as f64,
+                "shed" => c.shed as f64,
+                "jobs" => c.jobs as f64,
+                "swaps" => c.swaps as f64,
+                "busy" => c.busy_s,
+                "bus_busy" => c.bus_busy_s,
+                "powered" => c.powered_s,
+                "energy" => c.energy.total_j(),
+                _ => unreachable!("validated chain metric {f}"),
+            }
+        }
+        _ => unreachable!("parser rejects scope/engine mismatches"),
+    }
+}
+
+fn serving_tenant_metric(t: &respect::serve::TenantServeReport, f: &str) -> f64 {
+    match f {
+        "requests" | "offered" => t.offered as f64,
+        "admitted" | "goodput" => t.admitted as f64,
+        "shed" => t.shed as f64,
+        "shed_fraction" => t.shed_fraction(),
+        "jobs" => t.jobs as f64,
+        "mean_job_requests" => t.mean_job_requests,
+        "measured" => t.measured_requests as f64,
+        "total" => t.total_s,
+        "mean_latency" => t.mean_latency_s,
+        "max_latency" => t.max_latency_s,
+        "throughput" => t.throughput_ips,
+        "energy" => t.active_energy_j,
+        "swaps" => t.swaps.len() as f64,
+        "p50" => t.p50_s(),
+        "p95" => t.p95_s(),
+        "p99" => t.p99_s(),
+        "p999" => t.p999_s(),
+        _ => unreachable!("validated serving tenant metric {f}"),
+    }
+}
+
+/// Measured-request-weighted mean latency across tenants.
+fn mean_latency(parts: impl Iterator<Item = (usize, f64)>) -> f64 {
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for (m, mean) in parts {
+        n += m;
+        sum += m as f64 * mean;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}

@@ -1,0 +1,85 @@
+//! # respect_scn — scenarios as data, assertions as tests
+//!
+//! A line-oriented scenario DSL and interpreter over the workspace's
+//! sim → serve → fleet stack. A `.scn` file declares a deployment
+//! (model, stages, scheduler), traffic (tenants, arrival processes,
+//! batching, admission), an engine to drive, and assertions over the
+//! resulting report:
+//!
+//! ```text
+//! scenario quickstart
+//! model resnet50
+//! stages 4
+//! scheduler exact
+//! tenant
+//! requests 500
+//! arrivals poisson rate=400 seed=7
+//! run sim
+//! assert tenant0.throughput > 300
+//! assert makespan < 5s
+//! ```
+//!
+//! Parse it with [`fn@parse`], execute with [`Scenario::execute`]:
+//!
+//! ```
+//! let src = "model resnet50\ntenant\nrequests 50\nrun sim\nassert tenant0.throughput > 0\n";
+//! let run = respect_scn::parse(src).unwrap().execute().unwrap();
+//! assert!(run.passed());
+//! ```
+//!
+//! Scenarios compile into the **same** `Deployment` the fluent facade
+//! builds and call the same engine entry points, so a `.scn` file is
+//! bitwise-identical to its hand-wired Rust twin (property-pinned in
+//! this crate's tests). The `respect-test` binary (in `respect_bench`)
+//! discovers and runs checked-in `.scn` suites; see [`runner`].
+//!
+//! Everything is hand-rolled (lexer, recursive-descent parser) — the
+//! build environment has no crates.io access — with line/column
+//! diagnostics on every error ([`ScnError`]).
+
+use std::error::Error;
+use std::fmt;
+
+pub mod ast;
+pub mod exec;
+pub mod lex;
+pub mod parse;
+pub mod runner;
+
+pub use ast::Scenario;
+pub use exec::{AssertionOutcome, RunOutput, ScenarioRun};
+pub use parse::parse;
+pub use runner::{
+    discover, run_file, run_source, run_suite, FileOutcome, FileResult, RunnerOptions, SuiteResult,
+};
+
+/// A scenario error with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScnError {
+    /// 1-based line of the offense.
+    pub line: usize,
+    /// 1-based column of the offense.
+    pub col: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ScnError {
+    /// An error at `line:col`.
+    #[must_use]
+    pub fn at(line: usize, col: usize, msg: impl Into<String>) -> Self {
+        ScnError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl Error for ScnError {}

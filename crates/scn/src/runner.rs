@@ -1,0 +1,194 @@
+//! The conformance-runner library behind the `respect-test` binary:
+//! discover `.scn` files, execute each deterministically, and collect
+//! per-assertion pass/fail outcomes with actual-vs-expected evidence.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::exec::{AssertionOutcome, ScenarioRun};
+use crate::parse::parse;
+use crate::ScnError;
+
+/// Runner switches (the CLI's `--filter` / `--quick`).
+#[derive(Debug, Clone, Default)]
+pub struct RunnerOptions {
+    /// Run only files whose path contains this substring.
+    pub filter: Option<String>,
+    /// Skip scenarios tagged `slow`.
+    pub quick: bool,
+}
+
+/// What happened to one `.scn` file.
+#[derive(Debug, Clone)]
+pub enum FileOutcome {
+    /// Parsed, ran, and every assertion held.
+    Passed {
+        /// Scenario name, when declared.
+        name: Option<String>,
+        /// Assertion outcomes, in source order.
+        assertions: Vec<AssertionOutcome>,
+    },
+    /// Parsed and ran, but at least one assertion failed.
+    Failed {
+        /// Scenario name, when declared.
+        name: Option<String>,
+        /// Assertion outcomes, in source order.
+        assertions: Vec<AssertionOutcome>,
+    },
+    /// Skipped by `--quick` (tagged `slow`) or `--filter`.
+    Skipped {
+        /// Why it was skipped.
+        reason: String,
+    },
+    /// The file did not parse or the engine rejected the scenario.
+    Error(ScnError),
+    /// The file could not be read.
+    Io(String),
+}
+
+/// One file's result.
+#[derive(Debug, Clone)]
+pub struct FileResult {
+    /// The `.scn` path.
+    pub path: PathBuf,
+    /// What happened.
+    pub outcome: FileOutcome,
+}
+
+/// A whole suite's results.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteResult {
+    /// One entry per discovered file, in sorted path order.
+    pub files: Vec<FileResult>,
+}
+
+impl SuiteResult {
+    /// `true` when nothing failed or errored (skips are fine).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.files.iter().all(|f| {
+            matches!(
+                f.outcome,
+                FileOutcome::Passed { .. } | FileOutcome::Skipped { .. }
+            )
+        })
+    }
+
+    /// Count of files with the given disposition:
+    /// `(passed, failed, skipped, errored)`.
+    #[must_use]
+    pub fn tally(&self) -> (usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0);
+        for f in &self.files {
+            match f.outcome {
+                FileOutcome::Passed { .. } => t.0 += 1,
+                FileOutcome::Failed { .. } => t.1 += 1,
+                FileOutcome::Skipped { .. } => t.2 += 1,
+                FileOutcome::Error(_) | FileOutcome::Io(_) => t.3 += 1,
+            }
+        }
+        t
+    }
+}
+
+/// Collects every `.scn` file under `root` (a file or a directory),
+/// recursively, in sorted path order — deterministic across platforms.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk.
+pub fn discover(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if root.is_file() {
+        out.push(root.to_path_buf());
+        return Ok(out);
+    }
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "scn") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Parses and executes one `.scn` source, returning the run.
+///
+/// # Errors
+///
+/// [`ScnError`] from parsing or execution.
+pub fn run_source(src: &str) -> Result<ScenarioRun, ScnError> {
+    parse(src)?.execute()
+}
+
+/// Runs one file under `opts`.
+#[must_use]
+pub fn run_file(path: &Path, opts: &RunnerOptions) -> FileResult {
+    let outcome = run_file_inner(path, opts);
+    FileResult {
+        path: path.to_path_buf(),
+        outcome,
+    }
+}
+
+fn run_file_inner(path: &Path, opts: &RunnerOptions) -> FileOutcome {
+    if let Some(filter) = &opts.filter {
+        if !path.to_string_lossy().contains(filter.as_str()) {
+            return FileOutcome::Skipped {
+                reason: format!("does not match --filter {filter}"),
+            };
+        }
+    }
+    let src = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return FileOutcome::Io(format!("{e}")),
+    };
+    let scenario = match parse(&src) {
+        Ok(s) => s,
+        Err(e) => return FileOutcome::Error(e),
+    };
+    if opts.quick && scenario.tags.iter().any(|t| t == "slow") {
+        return FileOutcome::Skipped {
+            reason: "tagged slow (--quick)".to_string(),
+        };
+    }
+    match scenario.execute() {
+        Ok(run) => {
+            if run.passed() {
+                FileOutcome::Passed {
+                    name: scenario.name,
+                    assertions: run.assertions,
+                }
+            } else {
+                FileOutcome::Failed {
+                    name: scenario.name,
+                    assertions: run.assertions,
+                }
+            }
+        }
+        Err(e) => FileOutcome::Error(e),
+    }
+}
+
+/// Discovers and runs every scenario under `root`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from discovery only; per-file read and
+/// run failures are reported in the [`SuiteResult`].
+pub fn run_suite(root: &Path, opts: &RunnerOptions) -> io::Result<SuiteResult> {
+    let files = discover(root)?;
+    Ok(SuiteResult {
+        files: files.iter().map(|p| run_file(p, opts)).collect(),
+    })
+}

@@ -1,0 +1,215 @@
+//! The DSL's load-bearing guarantee: a `.scn`-driven run is **bitwise
+//! identical** to the hand-wired `Deployment` twin, across a property
+//! grid of sim, serve, and fleet configurations. `PartialEq` on the
+//! engine reports compares every `f64` field, so any divergence in how
+//! the interpreter assembles workloads, policies, or configs fails
+//! loudly here.
+
+use proptest::prelude::*;
+use respect::deploy::Deployment;
+use respect::serve::{AdmissionPolicy, BatchPolicy, RouterPolicy, ServeConfig, ServeTenant};
+use respect::tpu::sim::{Arrivals, SimConfig, Workload};
+use respect_scn::{parse, RunOutput};
+
+const MODELS: [&str; 2] = ["resnet50", "xception"];
+const SCHEDULERS: [&str; 3] = ["param-balanced", "op-balanced", "greedy"];
+
+struct Params {
+    model_i: usize,
+    sched_i: usize,
+    stages: usize,
+    tenants: usize,
+    requests: usize,
+    arr_i: usize,
+    rate: f64,
+    engine_i: usize,
+    chains: usize,
+    contended: bool,
+    batcher: bool,
+    admission: bool,
+}
+
+impl Params {
+    fn arrivals(&self, t: usize) -> Arrivals {
+        match self.arr_i {
+            0 => Arrivals::ClosedLoop,
+            1 => Arrivals::Periodic { rate: self.rate },
+            2 => Arrivals::Poisson {
+                rate: self.rate,
+                seed: 40 + t as u64,
+            },
+            _ => Arrivals::Mmpp {
+                low_rate: self.rate,
+                high_rate: self.rate * 4.0,
+                mean_dwell_s: 0.2,
+                seed: 9,
+            },
+        }
+    }
+
+    /// The scenario as `.scn` text.
+    fn source(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("model {}\n", MODELS[self.model_i]));
+        s.push_str(&format!("stages {}\n", self.stages));
+        s.push_str(&format!("scheduler {}\n", SCHEDULERS[self.sched_i]));
+        if self.contended {
+            s.push_str("bus contended\n");
+        }
+        for t in 0..self.tenants {
+            s.push_str("tenant\n");
+            s.push_str(&format!("requests {}\n", self.requests + 7 * t));
+            if t % 2 == 1 {
+                s.push_str("batch 2\n");
+            }
+            match self.arrivals(t) {
+                Arrivals::ClosedLoop => {}
+                Arrivals::Periodic { rate } => {
+                    s.push_str(&format!("arrivals periodic rate={rate}\n"));
+                }
+                Arrivals::Poisson { rate, seed } => {
+                    s.push_str(&format!("arrivals poisson rate={rate} seed={seed}\n"));
+                }
+                Arrivals::Mmpp {
+                    low_rate,
+                    high_rate,
+                    mean_dwell_s,
+                    seed,
+                } => {
+                    s.push_str(&format!(
+                        "arrivals mmpp low={low_rate} high={high_rate} dwell={mean_dwell_s} seed={seed}\n"
+                    ));
+                }
+                Arrivals::Diurnal { .. } => unreachable!("not generated"),
+            }
+            if self.engine_i > 0 {
+                if self.batcher {
+                    s.push_str("batcher max_batch=4 max_delay=0.002\n");
+                }
+                if self.admission {
+                    s.push_str("admission queue max_waiting=12\n");
+                }
+            }
+        }
+        if self.engine_i == 2 {
+            s.push_str(&format!("chains {}\n", self.chains));
+            s.push_str("router shortest\n");
+        }
+        s.push_str(&format!(
+            "run {}\n",
+            ["sim", "serve", "fleet"][self.engine_i]
+        ));
+        s
+    }
+
+    /// The same configuration, hand-wired through the fluent facade.
+    fn hand_wired(&self) -> RunOutput {
+        let dag = match MODELS[self.model_i] {
+            "resnet50" => respect::graph::models::resnet50(),
+            _ => respect::graph::models::xception(),
+        };
+        let mut b = Deployment::of(&dag)
+            .stages(self.stages)
+            .partitioner(SCHEDULERS[self.sched_i]);
+        if self.engine_i == 2 {
+            b = b
+                .fleet(self.chains)
+                .router(RouterPolicy::JoinShortestBacklog);
+            if self.contended {
+                b = b.contended_bus();
+            }
+        }
+        let d = b.build().expect("hand-wired deployment must build");
+        match self.engine_i {
+            0 => {
+                let workloads: Vec<Workload> = (0..self.tenants)
+                    .map(|t| {
+                        let mut w = Workload::new(d.pipeline().clone(), self.requests + 7 * t)
+                            .with_arrivals(self.arrivals(t));
+                        if t % 2 == 1 {
+                            w = w.with_batch(2);
+                        }
+                        w
+                    })
+                    .collect();
+                let cfg = if self.contended {
+                    SimConfig::contended()
+                } else {
+                    SimConfig::uncontended()
+                };
+                RunOutput::Sim(d.simulate_workloads(&workloads, &cfg).unwrap())
+            }
+            engine => {
+                let tenants: Vec<ServeTenant> = (0..self.tenants)
+                    .map(|t| {
+                        let mut st = ServeTenant::new(d.pipeline().clone(), self.requests + 7 * t)
+                            .with_arrivals(self.arrivals(t));
+                        if t % 2 == 1 {
+                            st = st.with_batch(2);
+                        }
+                        if self.batcher {
+                            st = st.with_batcher(BatchPolicy::new(4, 0.002));
+                        }
+                        if self.admission {
+                            st = st.with_admission(AdmissionPolicy::QueueBound { max_waiting: 12 });
+                        }
+                        st
+                    })
+                    .collect();
+                if engine == 1 {
+                    let cfg = if self.contended {
+                        ServeConfig::contended()
+                    } else {
+                        ServeConfig::uncontended()
+                    };
+                    RunOutput::Serve(d.serve(&tenants, &cfg).unwrap())
+                } else {
+                    RunOutput::Fleet(d.serve_fleet(&tenants).unwrap())
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scn_runs_are_bitwise_the_hand_wired_twin(
+        model_i in 0usize..2,
+        sched_i in 0usize..3,
+        stages in 2usize..5,
+        tenants in 1usize..3,
+        requests in 20usize..120,
+        arr_i in 0usize..4,
+        rate in 20.0f64..300.0,
+        engine_i in 0usize..3,
+        chains in 1usize..4,
+        flags in 0u64..8,
+    ) {
+        let p = Params {
+            model_i,
+            sched_i,
+            stages,
+            tenants,
+            requests,
+            arr_i,
+            rate,
+            engine_i,
+            chains,
+            contended: flags & 1 != 0,
+            batcher: flags & 2 != 0,
+            admission: flags & 4 != 0,
+        };
+        let src = p.source();
+        let scn = parse(&src).expect("generated scenario must parse");
+        let run = scn.execute().expect("scenario must execute");
+        let hand = p.hand_wired();
+        match (&run.output, &hand) {
+            (RunOutput::Sim(a), RunOutput::Sim(b)) => prop_assert_eq!(a, b),
+            (RunOutput::Serve(a), RunOutput::Serve(b)) => prop_assert_eq!(a, b),
+            (RunOutput::Fleet(a), RunOutput::Fleet(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "engine mismatch"),
+        }
+    }
+}

@@ -242,6 +242,10 @@ pub struct ScaleEvent {
 pub struct ChainReport {
     /// Requests admitted by this chain (across tenants).
     pub admitted: usize,
+    /// Requests routed to this chain and shed by its admission policy
+    /// (across tenants). Admission is chain-local, so per-chain sheds
+    /// sum to the fleet total.
+    pub shed: usize,
     /// Jobs (dynamic batches) this chain executed.
     pub jobs: usize,
     /// Pipeline hot-swaps this chain accepted (across tenants).
@@ -335,6 +339,12 @@ impl FleetReport {
     pub fn shed(&self) -> usize {
         self.tenants.iter().map(|t| t.shed).sum()
     }
+
+    /// Requests offered across all tenants (`admitted() + shed()`).
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.tenants.iter().map(|t| t.offered).sum()
+    }
 }
 
 /// Marks a request that was shed (never routed to any chain).
@@ -355,6 +365,8 @@ struct FleetEngine<'a, Q> {
     rr_next: Vec<usize>,
     /// Power-of-two-choices sample stream.
     rng: Option<StdRng>,
+    /// Requests shed per chain (admission is chain-local).
+    chain_shed: Vec<usize>,
     /// Active chains are exactly `0..active`.
     active: usize,
     /// Activation time of each currently-powered chain.
@@ -390,6 +402,7 @@ impl<'a, Q: EventQueue<Event>> FleetEngine<'a, Q> {
             routed: tenants.iter().map(|t| vec![UNROUTED; t.requests]).collect(),
             rr_next: vec![0; tenants.len()],
             rng,
+            chain_shed: vec![0; n],
             active,
             powered_at: (0..n).map(|c| (c < active).then_some(0.0)).collect(),
             powered_s: vec![0.0; n],
@@ -456,6 +469,7 @@ impl<'a, Q: EventQueue<Event>> FleetEngine<'a, Q> {
             self.routed[w][r as usize] = c as u16;
         } else {
             self.recs[w].shed += 1;
+            self.chain_shed[c] += 1;
         }
     }
 
@@ -591,6 +605,7 @@ impl<'a, Q: EventQueue<Event>> FleetEngine<'a, Q> {
                 let swaps = (0..self.tenants.len()).map(|w| ch.swaps(w).len()).sum();
                 ChainReport {
                     admitted,
+                    shed: self.chain_shed[c],
                     jobs,
                     swaps,
                     busy_s: ch.busy_s(),

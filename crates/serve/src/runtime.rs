@@ -435,6 +435,62 @@ pub struct ServeReport {
     pub events: u64,
 }
 
+impl ServeReport {
+    /// Requests offered across all tenants.
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.tenants.iter().map(|t| t.offered).sum()
+    }
+
+    /// Requests admitted across all tenants.
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.tenants.iter().map(|t| t.admitted).sum()
+    }
+
+    /// Requests shed across all tenants.
+    #[must_use]
+    pub fn shed(&self) -> usize {
+        self.tenants.iter().map(|t| t.shed).sum()
+    }
+
+    /// Every tenant's measured sojourn histogram, merged (bucket-wise,
+    /// losslessly) — the run-level evidence behind
+    /// [`ServeReport::p50_s`] and friends.
+    #[must_use]
+    pub fn histogram(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for t in &self.tenants {
+            h.merge(&t.histogram);
+        }
+        h
+    }
+
+    /// Run-level median sojourn time across tenants, seconds.
+    #[must_use]
+    pub fn p50_s(&self) -> f64 {
+        self.histogram().p50()
+    }
+
+    /// Run-level 95th-percentile sojourn time, seconds.
+    #[must_use]
+    pub fn p95_s(&self) -> f64 {
+        self.histogram().p95()
+    }
+
+    /// Run-level 99th-percentile sojourn time, seconds.
+    #[must_use]
+    pub fn p99_s(&self) -> f64 {
+        self.histogram().p99()
+    }
+
+    /// Run-level 99.9th-percentile sojourn time, seconds.
+    #[must_use]
+    pub fn p999_s(&self) -> f64 {
+        self.histogram().p999()
+    }
+}
+
 /// Assembles one tenant's report from the driver's request records and
 /// the chain-side counters. Shared by the single-chain and fleet
 /// drivers so the two produce bit-identical per-tenant arithmetic.

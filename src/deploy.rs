@@ -119,6 +119,7 @@ pub struct DeploymentBuilder<'a> {
     fleet_chains: Option<Vec<DeviceSpec>>,
     router: RouterPolicy,
     autoscale: Option<AutoscalePolicy>,
+    fleet_contended: bool,
 }
 
 impl<'a> DeploymentBuilder<'a> {
@@ -136,6 +137,7 @@ impl<'a> DeploymentBuilder<'a> {
             fleet_chains: None,
             router: RouterPolicy::default(),
             autoscale: None,
+            fleet_contended: false,
         }
     }
 
@@ -213,6 +215,15 @@ impl<'a> DeploymentBuilder<'a> {
         self
     }
 
+    /// Switches every fleet chain to one shared FIFO host bus (as
+    /// [`FleetConfig::with_contended_bus`]). Affects
+    /// [`Deployment::serve_fleet`] only; `simulate_workloads` and
+    /// `serve` take their bus switch from their own config argument.
+    pub fn contended_bus(mut self) -> Self {
+        self.fleet_contended = true;
+        self
+    }
+
     /// Schedules and compiles: resolve the partitioner, compute the
     /// stage assignment, and compile it for the device chain.
     ///
@@ -232,6 +243,7 @@ impl<'a> DeploymentBuilder<'a> {
         if let Some(budget) = self.time_budget {
             options = options.with_time_budget(budget);
         }
+        let partitioner_key = self.scheduler.is_none().then(|| self.partitioner.clone());
         let scheduler = match self.scheduler {
             Some(s) => s,
             None => registry(&self.spec).build(&self.partitioner, &options)?,
@@ -247,11 +259,15 @@ impl<'a> DeploymentBuilder<'a> {
         if let Some(autoscale) = self.autoscale {
             fleet = fleet.with_autoscale(autoscale);
         }
+        if self.fleet_contended {
+            fleet = fleet.with_contended_bus();
+        }
         Ok(Deployment {
             dag: self.dag.clone(),
             spec: self.spec,
             pipeline,
             scheduler_name: scheduler.name().to_string(),
+            partitioner_key,
             fleet,
         })
     }
@@ -265,6 +281,7 @@ pub struct Deployment {
     spec: DeviceSpec,
     pipeline: CompiledPipeline,
     scheduler_name: String,
+    partitioner_key: Option<String>,
     fleet: FleetConfig,
 }
 
@@ -308,6 +325,13 @@ impl Deployment {
     /// [`Scheduler::name`], e.g. `"RESPECT"` — not the registry key).
     pub fn scheduler_name(&self) -> &str {
         &self.scheduler_name
+    }
+
+    /// The [`registry`] key the deployment was built from
+    /// ([`DeploymentBuilder::partitioner`]), or `None` when a pre-built
+    /// scheduler was injected via [`DeploymentBuilder::scheduler`].
+    pub fn partitioner_key(&self) -> Option<&str> {
+        self.partitioner_key.as_deref()
     }
 
     /// The abstract bottleneck objective of the deployed schedule under
