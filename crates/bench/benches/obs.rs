@@ -1,0 +1,133 @@
+//! Probe-layer overhead benchmarks: the zero-cost claim, measured.
+//!
+//! `NullProbe` sets `Probe::ENABLED = false`, so every emission site is
+//! `if P::ENABLED { ... }` around a constant — monomorphization deletes
+//! the instrumentation and `serve_fleet_probed(.., &mut NullProbe)`
+//! must compile to the same engine as `serve_fleet`. This bench both
+//! measures the three variants (unprobed / null probe / live recorders)
+//! and **asserts** the claim before measuring: the null-probed fleet
+//! soak must stay within noise of the probe-free baseline (median of
+//! paired runs, generous 0.7x floor so CI smoke budgets never flake),
+//! and its report must be bitwise-identical.
+//!
+//! Run with `RESPECT_BENCH_BUDGET_MS=20` for a CI smoke pass.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use respect_graph::models;
+use respect_obs::{ChromeTraceRecorder, MetricsRecorder};
+use respect_sched::{balanced::OpBalanced, Scheduler};
+use respect_serve::{
+    serve_fleet, serve_fleet_probed, BatchPolicy, FleetConfig, FleetReport, RouterPolicy,
+    ServeTenant,
+};
+use respect_tpu::probe::NullProbe;
+use respect_tpu::sim::Arrivals;
+use respect_tpu::{compile, device::DeviceSpec, CompiledPipeline};
+
+const REQUESTS: usize = 1_000;
+
+fn deployment(spec: &DeviceSpec) -> CompiledPipeline {
+    let dag = models::densenet121();
+    let s = OpBalanced::new().schedule(&dag, 6).unwrap();
+    compile::compile(&dag, &s, spec).unwrap()
+}
+
+fn tenant(pipeline: &CompiledPipeline, rate: f64) -> ServeTenant {
+    ServeTenant::new(pipeline.clone(), REQUESTS)
+        .with_arrivals(Arrivals::Diurnal {
+            mean_rate: rate,
+            amplitude: 0.5,
+            period_s: 2.0,
+            seed: 1713,
+        })
+        .with_batcher(BatchPolicy::new(8, 5e-3))
+}
+
+fn fleet_cfg(spec: DeviceSpec) -> FleetConfig {
+    FleetConfig::homogeneous(4, spec)
+        .with_router(RouterPolicy::JoinShortestBacklog)
+        .with_contended_bus()
+}
+
+/// Paired-run guard: median wall-clock of the null-probed soak must be
+/// within noise of the unprobed baseline, and the reports bitwise
+/// equal. Panics (failing `cargo bench`) on a real regression.
+fn assert_null_probe_is_free(
+    pipeline: &CompiledPipeline,
+    cfg: &FleetConfig,
+) -> (FleetReport, FleetReport) {
+    const ROUNDS: usize = 5;
+    const FLOOR: f64 = 0.7;
+    let mut plain_s = Vec::with_capacity(ROUNDS);
+    let mut nulled_s = Vec::with_capacity(ROUNDS);
+    let mut reports = None;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        let plain = serve_fleet(&[tenant(pipeline, 600.0)], cfg).unwrap();
+        plain_s.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let nulled = serve_fleet_probed(&[tenant(pipeline, 600.0)], cfg, &mut NullProbe).unwrap();
+        nulled_s.push(t0.elapsed().as_secs_f64());
+        reports = Some((plain, nulled));
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let (plain_med, nulled_med) = (median(&mut plain_s), median(&mut nulled_s));
+    let throughput_ratio = plain_med / nulled_med;
+    println!(
+        "obs: null-probe soak {:.3} ms vs unprobed {:.3} ms (throughput ratio {:.2})",
+        nulled_med * 1e3,
+        plain_med * 1e3,
+        throughput_ratio
+    );
+    assert!(
+        throughput_ratio >= FLOOR,
+        "NullProbe must compile away: null-probed fleet soak ran at {throughput_ratio:.2}x \
+         the unprobed throughput (floor {FLOOR})"
+    );
+    let (plain, nulled) = reports.unwrap();
+    assert_eq!(plain, nulled, "NullProbe must not perturb the run");
+    (plain, nulled)
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let spec = DeviceSpec::coral();
+    let pipeline = deployment(&spec);
+    let cfg = fleet_cfg(spec);
+    assert_null_probe_is_free(&pipeline, &cfg);
+
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(20);
+    group.bench_function(format!("unprobed/{REQUESTS}"), |b| {
+        b.iter(|| {
+            black_box(
+                serve_fleet(&[tenant(&pipeline, 600.0)], &cfg)
+                    .unwrap()
+                    .p99_s(),
+            )
+        })
+    });
+    group.bench_function(format!("null-probe/{REQUESTS}"), |b| {
+        b.iter(|| {
+            let r = serve_fleet_probed(&[tenant(&pipeline, 600.0)], &cfg, &mut NullProbe).unwrap();
+            black_box(r.p99_s())
+        })
+    });
+    group.bench_function(format!("metrics+trace/{REQUESTS}"), |b| {
+        b.iter(|| {
+            let mut metrics = MetricsRecorder::new();
+            let mut trace = ChromeTraceRecorder::new();
+            let mut both = (&mut metrics, &mut trace);
+            let r = serve_fleet_probed(&[tenant(&pipeline, 600.0)], &cfg, &mut both).unwrap();
+            black_box((r.p99_s(), trace.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

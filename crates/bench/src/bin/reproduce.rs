@@ -27,6 +27,14 @@
 //! for the `sim`, `serve`, and `deploy` experiments (defaults:
 //! `param-balanced`, `op-balanced`, `respect`). Pass a bogus name to
 //! see the available ones.
+//!
+//! `serve`, `fleet`, and `soak` also accept `--metrics-out <path>` and
+//! `--trace-out <path>`: after the sweep, a representative scenario of
+//! that experiment family is re-run with the zero-cost probe layer
+//! attached and the Prometheus-style metrics exposition / Chrome
+//! `trace_event` JSON (Perfetto-loadable) are written to the given
+//! paths. The probe never perturbs the run — the instrumented twin is
+//! bitwise-identical to the unprobed scenario.
 
 use std::time::Duration;
 
@@ -50,8 +58,15 @@ fn main() {
         .iter()
         .enumerate()
         .find(|(i, a)| {
-            let value_of_flag =
-                *i > 0 && ["--scheduler", "--out", "--threads"].contains(&args[i - 1].as_str());
+            let value_of_flag = *i > 0
+                && [
+                    "--scheduler",
+                    "--out",
+                    "--threads",
+                    "--metrics-out",
+                    "--trace-out",
+                ]
+                .contains(&args[i - 1].as_str());
             !(a.starts_with("--") || value_of_flag)
         })
         .map(|(_, a)| a.as_str())
@@ -80,10 +95,19 @@ fn main() {
         "fig5" => fig5(quick, exact_budget),
         "ablation" => ablation(quick),
         "sim" => sim_sweep(quick, scheduler),
-        "serve" => serve_sweep(quick, scheduler),
-        "fleet" => fleet_sweep(quick, scheduler, Some(&args)),
+        "serve" => {
+            serve_sweep(quick, scheduler);
+            export_observability(which, quick, &args);
+        }
+        "fleet" => {
+            fleet_sweep(quick, scheduler, Some(&args));
+            export_observability(which, quick, &args);
+        }
         "deploy" => deploy(quick, scheduler),
-        "soak" => soak_bench(quick, &args),
+        "soak" => {
+            soak_bench(quick, &args);
+            export_observability(which, quick, &args);
+        }
         "all" => {
             table1();
             fig3(quick, exact_budget);
@@ -102,6 +126,114 @@ fn main() {
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// The `--metrics-out` / `--trace-out` companion run: one
+/// representative scenario of the experiment family (`serve` drives a
+/// single chain, `fleet`/`soak` an autoscaled 3-chain fleet, `soak` at
+/// a longer horizon), re-run with the zero-cost probe layer attached.
+/// Writes the Prometheus-style metrics exposition and/or the Chrome
+/// `trace_event` JSON to the requested paths. No-op without the flags.
+fn export_observability(which: &str, quick: bool, args: &[String]) {
+    use respect::deploy::Deployment;
+    use respect::graph::models;
+    use respect::obs::{ChromeTraceRecorder, MetricsRecorder};
+    use respect::serve::{
+        AdmissionPolicy, AutoscalePolicy, BatchPolicy, RouterPolicy, ServeConfig,
+    };
+    use respect::tpu::sim::Arrivals;
+
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+    };
+    let metrics_out = flag_value("--metrics-out");
+    let trace_out = flag_value("--trace-out");
+    if metrics_out.is_none() && trace_out.is_none() {
+        return;
+    }
+    let requests = match (which, quick) {
+        ("soak", false) => 20_000,
+        ("soak", true) => 2_000,
+        (_, false) => 4_000,
+        (_, true) => 400,
+    };
+    println!("\n== Observability export: instrumented {which} companion run ======");
+    let dag = models::resnet50();
+    let mut builder = Deployment::of(&dag).stages(4).partitioner("op-balanced");
+    if which != "serve" {
+        builder = builder
+            .fleet(3)
+            .router(RouterPolicy::JoinShortestBacklog)
+            .autoscale(
+                AutoscalePolicy::new()
+                    .with_check_jobs(8)
+                    .with_scale_up_s(0.010)
+                    .with_scale_down_s(0.002),
+            );
+    }
+    let deployment = match builder.build() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("observability export: deployment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let tenant = deployment
+        .tenant(requests)
+        .with_arrivals(Arrivals::Poisson {
+            rate: 1_500.0,
+            seed: 42,
+        })
+        .with_batcher(BatchPolicy::new(8, 2e-3))
+        .with_admission(AdmissionPolicy::QueueBound { max_waiting: 64 });
+    let mut metrics = MetricsRecorder::new();
+    let mut trace = ChromeTraceRecorder::new();
+    let mut both = (&mut metrics, &mut trace);
+    let run = if which == "serve" {
+        deployment
+            .serve_probed(&[tenant], &ServeConfig::contended(), &mut both)
+            .map(|r| (r.offered(), r.admitted(), r.p99_s()))
+    } else {
+        deployment
+            .serve_fleet_probed(&[tenant], &mut both)
+            .map(|r| (r.offered(), r.admitted(), r.p99_s()))
+    };
+    let (offered, admitted, p99_s) = match run {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("observability export: {which} run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "instrumented run: {offered} offered, {admitted} admitted, p99 {:.2} ms, {} trace events",
+        p99_s * 1e3,
+        trace.len()
+    );
+    let write = |path: &str, contents: String, what: &str| match std::fs::write(path, contents) {
+        Ok(()) => println!("wrote {what} to {path}"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = metrics_out {
+        write(
+            path,
+            metrics.snapshot().to_prometheus(),
+            "metrics exposition",
+        );
+    }
+    if let Some(path) = trace_out {
+        write(
+            path,
+            trace.to_json(),
+            "chrome trace (load in https://ui.perfetto.dev)",
+        );
     }
 }
 

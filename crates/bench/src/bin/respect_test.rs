@@ -104,13 +104,20 @@ fn run(root: &Path, opts: &RunnerOptions) -> ExitCode {
                 let label = name.as_deref().unwrap_or("unnamed");
                 println!("PASS {path} ({label}, {} assertion(s))", assertions.len());
             }
-            FileOutcome::Failed { name, assertions } => {
+            FileOutcome::Failed {
+                name,
+                assertions,
+                diagnostics,
+            } => {
                 let label = name.as_deref().unwrap_or("unnamed");
                 println!("FAIL {path} ({label})");
                 for a in assertions {
                     let mark = if a.passed { "ok  " } else { "FAIL" };
                     println!("  {mark} line {}: {}", a.line, a.text);
                     println!("         {}", a.detail);
+                }
+                for line in diagnostics.lines() {
+                    println!("  | {line}");
                 }
             }
             FileOutcome::Skipped { reason } => println!("SKIP {path} ({reason})"),

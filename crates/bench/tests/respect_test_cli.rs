@@ -55,6 +55,15 @@ fn failing_fixture_exits_nonzero_with_actual_vs_expected() {
         stdout.contains("1 failed"),
         "tally must count it:\n{stdout}"
     );
+    // the probe-layer diagnostics from the deterministic re-run
+    assert!(
+        stdout.contains("| metrics snapshot:") && stdout.contains("arrivals\t20"),
+        "the metrics snapshot must be dumped:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("flight recorder:") && stdout.contains("Completion"),
+        "the flight-recorder tail must be dumped:\n{stdout}"
+    );
 }
 
 #[test]

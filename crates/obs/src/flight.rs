@@ -1,0 +1,154 @@
+//! Bounded flight recorder: the last N probe events, for post-mortem
+//! dumps.
+//!
+//! When a scenario assertion fails, the most useful artifact is usually
+//! "what were the last few hundred things the system did" — not a full
+//! trace. [`FlightRecorder`] is a [`Probe`] that keeps a fixed-size
+//! ring of `(time, event)` pairs in constant memory; `respect-test`
+//! attaches one when it re-runs a failing `.scn` file and prints the
+//! [`FlightRecorder::dump`].
+//!
+//! ```
+//! use respect_obs::{FlightRecorder, Probe, ProbeEvent};
+//!
+//! let mut fr = FlightRecorder::new(2);
+//! for r in 0..5 {
+//!     fr.record(r as f64, &ProbeEvent::Arrival { chain: 0, tenant: 0, request: r });
+//! }
+//! assert_eq!(fr.len(), 2);
+//! assert_eq!(fr.dropped(), 3);
+//! let dump = fr.dump();
+//! assert!(dump.contains("request: 4"));
+//! assert!(!dump.contains("request: 1"));
+//! ```
+
+use respect_tpu::probe::{Probe, ProbeEvent};
+
+/// A [`Probe`] keeping the most recent `cap` events in a ring.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: Vec<(f64, ProbeEvent)>,
+    cap: usize,
+    /// Write cursor, meaningful once the ring is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `cap` events (`cap == 0` retains
+    /// nothing and counts everything as dropped).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            ring: Vec::with_capacity(cap.min(4096)),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted (or refused, at cap 0).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events in chronological order.
+    #[must_use]
+    pub fn events(&self) -> Vec<(f64, ProbeEvent)> {
+        let mut v = self.ring.clone();
+        if self.ring.len() == self.cap {
+            v.rotate_left(self.head);
+        }
+        v
+    }
+
+    /// A human-readable dump: one `[t] event` line per retained event,
+    /// chronological, preceded by a header noting how many were
+    /// dropped.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        let mut out = format!(
+            "flight recorder: last {} of {} events\n",
+            self.ring.len(),
+            self.ring.len() as u64 + self.dropped
+        );
+        for (t, ev) in self.events() {
+            out.push_str(&format!("  [{t:.9}] {ev:?}\n"));
+        }
+        out
+    }
+}
+
+impl Probe for FlightRecorder {
+    fn record(&mut self, t: f64, ev: &ProbeEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() < self.cap {
+            self.ring.push((t, *ev));
+        } else {
+            self.ring[self.head] = (t, *ev);
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(r: u32) -> ProbeEvent {
+        ProbeEvent::Arrival {
+            chain: 0,
+            tenant: 0,
+            request: r,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_chronological_tail() {
+        let mut fr = FlightRecorder::new(3);
+        for r in 0..8 {
+            fr.record(f64::from(r), &arrival(r));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 5);
+        let times: Vec<f64> = fr.events().iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn below_cap_keeps_everything() {
+        let mut fr = FlightRecorder::new(10);
+        for r in 0..4 {
+            fr.record(f64::from(r), &arrival(r));
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.dropped(), 0);
+        assert_eq!(fr.events().first().map(|&(t, _)| t), Some(0.0));
+    }
+
+    #[test]
+    fn zero_cap_refuses_everything() {
+        let mut fr = FlightRecorder::new(0);
+        fr.record(1.0, &arrival(0));
+        assert!(fr.is_empty());
+        assert_eq!(fr.dropped(), 1);
+        assert!(fr.dump().starts_with("flight recorder: last 0 of 1"));
+    }
+}

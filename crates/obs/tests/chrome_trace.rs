@@ -1,0 +1,310 @@
+//! Chrome-trace export validation: the JSON a real fleet run produces
+//! is parsed with a minimal JSON reader (no external deps) and checked
+//! for the structure Perfetto / `chrome://tracing` require:
+//!
+//! * a top-level object with a `traceEvents` array;
+//! * every event carries `name`/`ph`/`pid`/`tid` (and `ts` unless it is
+//!   a metadata record), with `"X"` events also carrying a nonnegative
+//!   `dur`;
+//! * per `(pid, tid)`, timestamps are monotone non-decreasing — each
+//!   resource is an exclusive FIFO server, so its span starts ascend.
+
+use std::collections::BTreeMap;
+
+use respect_graph::models;
+use respect_obs::ChromeTraceRecorder;
+use respect_sched::balanced::OpBalanced;
+use respect_sched::Scheduler;
+use respect_serve::{
+    serve_fleet_probed, AdmissionPolicy, AutoscalePolicy, BatchPolicy, FleetConfig, RouterPolicy,
+    ServeTenant,
+};
+use respect_tpu::sim::Arrivals;
+use respect_tpu::{compile, DeviceSpec};
+
+/// A minimal JSON value — just enough to validate the trace document.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over bytes. Panics (failing the test)
+/// on any malformed input — that IS the validation.
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.ws();
+        assert!(self.i < self.b.len(), "unexpected end of JSON");
+        self.b[self.i]
+    }
+
+    fn eat(&mut self, c: u8) {
+        let got = self.peek();
+        assert_eq!(
+            got as char, c as char,
+            "expected '{}' at byte {}",
+            c as char, self.i
+        );
+        self.i += 1;
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Json {
+        assert!(
+            self.b[self.i..].starts_with(word.as_bytes()),
+            "bad literal at byte {}",
+            self.i
+        );
+        self.i += word.len();
+        v
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut fields = Vec::new();
+        if self.peek() == b'}' {
+            self.i += 1;
+            return Json::Obj(fields);
+        }
+        loop {
+            let key = self.string_at_peek();
+            self.eat(b':');
+            fields.push((key, self.value()));
+            match self.peek() {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Json::Obj(fields);
+                }
+                c => panic!("expected ',' or '}}', got '{}'", c as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.i += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Json::Arr(items);
+                }
+                c => panic!("expected ',' or ']', got '{}'", c as char),
+            }
+        }
+    }
+
+    fn string_at_peek(&mut self) -> String {
+        assert_eq!(self.peek(), b'"', "expected string key at byte {}", self.i);
+        self.string()
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        loop {
+            assert!(self.i < self.b.len(), "unterminated string");
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let c = self.b[self.i];
+                    out.push(match c {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => panic!("unsupported escape \\{}", other as char),
+                    });
+                    self.i += 1;
+                }
+                c => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(
+                self.b[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        Json::Num(s.parse().unwrap_or_else(|_| panic!("bad number '{s}'")))
+    }
+
+    fn parse_document(mut self) -> Json {
+        let v = self.value();
+        self.ws();
+        assert_eq!(self.i, self.b.len(), "trailing bytes after JSON document");
+        v
+    }
+}
+
+fn fleet_trace_json() -> String {
+    let dag = models::resnet50();
+    let schedule = OpBalanced::new().schedule(&dag, 4).unwrap();
+    let pipeline = compile::compile(&dag, &schedule, &DeviceSpec::coral()).unwrap();
+    // overload hard enough that the autoscaler provably opens extra
+    // chains (the same flood the probe-invariant tests rely on)
+    let tenant = ServeTenant::new(pipeline, 400)
+        .with_arrivals(Arrivals::Poisson {
+            rate: 2_000.0,
+            seed: 5,
+        })
+        .with_batcher(BatchPolicy::new(4, 2e-3))
+        .with_admission(AdmissionPolicy::QueueBound { max_waiting: 4 });
+    let cfg = FleetConfig::homogeneous(3, DeviceSpec::coral())
+        .with_router(RouterPolicy::JoinShortestBacklog)
+        .with_autoscale(
+            // a 2-chain floor keeps several chain-processes in the trace
+            // even before the flood triggers the third
+            AutoscalePolicy::new()
+                .with_min_chains(2)
+                .with_check_jobs(4)
+                .with_scale_up_s(0.005)
+                .with_scale_down_s(0.001),
+        )
+        .with_contended_bus();
+    let mut trace = ChromeTraceRecorder::new();
+    serve_fleet_probed(&[tenant], &cfg, &mut trace).unwrap();
+    trace.to_json()
+}
+
+#[test]
+fn fleet_trace_parses_and_ts_is_monotone_per_thread() {
+    let json = fleet_trace_json();
+    let doc = Parser::new(&json).parse_document();
+    let events = doc
+        .get("traceEvents")
+        .expect("top-level traceEvents key")
+        .clone();
+    let Json::Arr(events) = events else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(events.len() > 100, "a real run traces many events");
+
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let (mut spans, mut instants, mut metas) = (0usize, 0usize, 0usize);
+    for ev in &events {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::str)
+            .expect("every event has ph");
+        let pid = ev.get("pid").and_then(Json::num).expect("pid") as u64;
+        let tid = ev.get("tid").and_then(Json::num).expect("tid") as u64;
+        assert!(ev.get("name").and_then(Json::str).is_some(), "name");
+        match ph {
+            "M" => metas += 1,
+            "X" => {
+                spans += 1;
+                let ts = ev.get("ts").and_then(Json::num).expect("span ts");
+                let dur = ev.get("dur").and_then(Json::num).expect("span dur");
+                assert!(dur >= 0.0, "negative span duration");
+                assert!(ts >= 0.0);
+                let prev = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+                assert!(
+                    ts >= *prev,
+                    "ts regressed on (pid {pid}, tid {tid}): {ts} < {prev}"
+                );
+                *prev = ts;
+            }
+            "i" => {
+                instants += 1;
+                let ts = ev.get("ts").and_then(Json::num).expect("instant ts");
+                let prev = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+                assert!(
+                    ts >= *prev,
+                    "instant ts regressed on (pid {pid}, tid {tid})"
+                );
+                *prev = ts;
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(spans > 0, "device/bus spans were recorded");
+    assert!(instants > 0, "control-plane instants were recorded");
+    assert!(metas >= 3, "each chain-process is named");
+    // the autoscaled fleet names its fleet pseudo-process
+    assert!(json.contains("\"name\":\"fleet\""));
+}
+
+#[test]
+fn trace_json_is_deterministic() {
+    assert_eq!(fleet_trace_json(), fleet_trace_json());
+}

@@ -1,0 +1,209 @@
+//! Probe-stream invariants over real serve and fleet runs:
+//!
+//! * conservation — every offered request is admitted or shed, exactly
+//!   once, and every admitted request completes;
+//! * span discipline — per (chain, resource), acquires and releases
+//!   strictly alternate and the resulting busy intervals never overlap
+//!   (each resource is an exclusive FIFO server);
+//! * observation is free — a `NullProbe` run and a recorder-laden run
+//!   produce bitwise-identical reports.
+
+use std::collections::BTreeMap;
+
+use respect_graph::models;
+use respect_obs::{ChromeTraceRecorder, FlightRecorder, MetricsRecorder, Probe, ProbeEvent};
+use respect_sched::balanced::OpBalanced;
+use respect_sched::Scheduler;
+use respect_serve::{
+    serve, serve_fleet, serve_fleet_probed, serve_probed, AdmissionPolicy, AutoscalePolicy,
+    BatchPolicy, FleetConfig, RouterPolicy, ServeConfig, ServeTenant,
+};
+use respect_tpu::probe::NullProbe;
+use respect_tpu::sim::{Arrivals, ResourceId};
+use respect_tpu::{compile, CompiledPipeline, DeviceSpec};
+
+/// Collects the raw stream for offline invariant checking.
+#[derive(Default)]
+struct Collect(Vec<(f64, ProbeEvent)>);
+
+impl Probe for Collect {
+    fn record(&mut self, t: f64, ev: &ProbeEvent) {
+        self.0.push((t, *ev));
+    }
+}
+
+fn pipeline() -> CompiledPipeline {
+    let dag = models::resnet50();
+    let schedule = OpBalanced::new().schedule(&dag, 4).unwrap();
+    compile::compile(&dag, &schedule, &DeviceSpec::coral()).unwrap()
+}
+
+/// An overloaded queue-bounded tenant plus a calm one: sheds, batches,
+/// and completions all occur.
+fn tenants(p: &CompiledPipeline) -> Vec<ServeTenant> {
+    vec![
+        ServeTenant::new(p.clone(), 300)
+            .with_arrivals(Arrivals::Poisson {
+                rate: 2_000.0,
+                seed: 5,
+            })
+            .with_batcher(BatchPolicy::new(4, 2e-3))
+            .with_admission(AdmissionPolicy::QueueBound { max_waiting: 4 }),
+        ServeTenant::new(p.clone(), 200),
+    ]
+}
+
+/// Asserts conservation and span discipline on a collected stream.
+fn check_stream(events: &[(f64, ProbeEvent)], offered: u64) {
+    let (mut arrivals, mut admits, mut sheds, mut completions) = (0u64, 0u64, 0u64, 0u64);
+    // (chain, device-or-bus key) → (open?, last release time, last acquire time)
+    let mut span: BTreeMap<(u16, u32), (bool, f64, f64)> = BTreeMap::new();
+    let key = |chain: u16, resource: ResourceId| match resource {
+        ResourceId::Device(k) => (chain, k as u32),
+        ResourceId::Bus => (chain, u32::MAX),
+    };
+    let mut last_t = 0.0f64;
+    for &(t, ev) in events {
+        assert!(
+            t >= last_t,
+            "probe stream must be time-ordered: {t} < {last_t}"
+        );
+        last_t = t;
+        match ev {
+            ProbeEvent::Arrival { .. } => arrivals += 1,
+            ProbeEvent::Admit { .. } => admits += 1,
+            ProbeEvent::Shed { .. } => sheds += 1,
+            ProbeEvent::Completion { latency_s, .. } => {
+                completions += 1;
+                assert!(latency_s > 0.0, "sojourn must be positive");
+            }
+            ProbeEvent::Acquire {
+                chain, resource, ..
+            } => {
+                let e = span
+                    .entry(key(chain, resource))
+                    .or_insert((false, 0.0, 0.0));
+                assert!(!e.0, "double acquire on {:?} of chain {chain}", resource);
+                assert!(
+                    t >= e.1,
+                    "acquire at {t} before previous release {} on {:?}",
+                    e.1,
+                    resource
+                );
+                *e = (true, e.1, t);
+            }
+            ProbeEvent::Release {
+                chain, resource, ..
+            } => {
+                let e = span
+                    .get_mut(&key(chain, resource))
+                    .unwrap_or_else(|| panic!("release without acquire on {resource:?}"));
+                assert!(e.0, "release without open hold on {:?}", resource);
+                assert!(t >= e.2, "release at {t} before acquire {}", e.2);
+                *e = (false, t, e.2);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(arrivals, offered, "one Arrival per offered request");
+    assert_eq!(
+        admits + sheds,
+        offered,
+        "every request is admitted or shed, exactly once"
+    );
+    assert_eq!(completions, admits, "every admitted request completes");
+    assert!(sheds > 0, "the overloaded tenant must shed");
+    for ((chain, res), (open, ..)) in &span {
+        assert!(!open, "resource {res} of chain {chain} still held at end");
+    }
+}
+
+#[test]
+fn serve_stream_conserves_requests_and_nests_spans() {
+    let p = pipeline();
+    let spec = DeviceSpec::coral();
+    let cfg = ServeConfig::contended();
+    let mut collect = Collect::default();
+    let probed = serve_probed(&tenants(&p), &spec, &cfg, &mut collect).unwrap();
+    check_stream(&collect.0, 500);
+    // observation is free: NullProbe ≡ unprobed ≡ collected run
+    let plain = serve(&tenants(&p), &spec, &cfg).unwrap();
+    let nulled = serve_probed(&tenants(&p), &spec, &cfg, &mut NullProbe).unwrap();
+    assert_eq!(plain, probed);
+    assert_eq!(plain, nulled);
+}
+
+#[test]
+fn fleet_stream_conserves_requests_and_nests_spans_per_chain() {
+    let p = pipeline();
+    let cfg = FleetConfig::homogeneous(3, DeviceSpec::coral())
+        .with_router(RouterPolicy::JoinShortestBacklog)
+        .with_autoscale(
+            AutoscalePolicy::new()
+                .with_check_jobs(4)
+                .with_scale_up_s(0.005)
+                .with_scale_down_s(0.001),
+        );
+    let mut collect = Collect::default();
+    let probed = serve_fleet_probed(&tenants(&p), &cfg, &mut collect).unwrap();
+    check_stream(&collect.0, 500);
+    // fleet-only invariants: one router decision per arrival, and the
+    // scale events chain contiguously from the min_chains floor
+    let routes = collect
+        .0
+        .iter()
+        .filter(|(_, e)| matches!(e, ProbeEvent::RouterDecision { .. }))
+        .count();
+    assert_eq!(routes, 500);
+    let mut active = 1u16;
+    for (_, ev) in &collect.0 {
+        match *ev {
+            ProbeEvent::ScaleUp { from, to } => {
+                assert_eq!(from, active);
+                assert_eq!(to, from + 1);
+                active = to;
+            }
+            ProbeEvent::ScaleDown { from, to } => {
+                assert_eq!(from, active);
+                assert_eq!(to, from - 1);
+                active = to;
+            }
+            _ => {}
+        }
+    }
+    assert!(active > 1, "the flood must have scaled the fleet up");
+    let plain = serve_fleet(&tenants(&p), &cfg).unwrap();
+    assert_eq!(plain, probed, "probing must not change the fleet run");
+}
+
+#[test]
+fn recorders_observe_without_perturbing_and_agree_with_the_report() {
+    let p = pipeline();
+    let cfg = FleetConfig::homogeneous(2, DeviceSpec::coral());
+    let mut metrics = MetricsRecorder::new();
+    let mut trace = ChromeTraceRecorder::new();
+    let mut flight = FlightRecorder::new(64);
+    // three-way fan-out: nested tuple probes
+    let mut all = (&mut metrics, (&mut trace, &mut flight));
+    let probed = serve_fleet_probed(&tenants(&p), &cfg, &mut all).unwrap();
+    let plain = serve_fleet(&tenants(&p), &cfg).unwrap();
+    assert_eq!(plain, probed);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("arrivals"), Some(plain.offered() as u64));
+    assert_eq!(snap.counter("admitted"), Some(plain.admitted() as u64));
+    assert_eq!(snap.counter("shed"), Some(plain.shed() as u64));
+    assert_eq!(
+        snap.counter("completions"),
+        Some(plain.admitted() as u64),
+        "every admitted request completes"
+    );
+    assert_eq!(
+        metrics.histogram().count(),
+        plain.admitted() as u64,
+        "one histogram sample per completion"
+    );
+    assert!(!trace.is_empty(), "spans were traced");
+    assert_eq!(flight.len(), 64, "the flight ring filled");
+    assert!(flight.dropped() > 0);
+    assert!(flight.dump().contains("Completion"));
+}

@@ -27,6 +27,33 @@ use crate::cost::CostModel;
 use crate::incremental::IncrementalEvaluator;
 use crate::schedule::Schedule;
 
+/// Observer hook for [`refine_with`]: one callback per completed
+/// refinement pass. Monomorphized, so the no-op observer used by
+/// [`refine`] compiles to nothing. The serving runtime's probe layer
+/// (`respect_tpu::probe`) adapts this into its structured event stream;
+/// keeping the trait here — below the simulator in the crate graph —
+/// lets the refiner stay dependency-free while still being observable.
+pub trait RefineObserver {
+    /// Called after pass `pass` (0-based) with the moves it accepted
+    /// and the bottleneck objective it reached.
+    fn on_pass(&mut self, pass: usize, moves_in_pass: usize, objective: f64);
+}
+
+/// The do-nothing observer behind [`refine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SilentRefine;
+
+impl RefineObserver for SilentRefine {
+    #[inline(always)]
+    fn on_pass(&mut self, _pass: usize, _moves_in_pass: usize, _objective: f64) {}
+}
+
+impl<F: FnMut(usize, usize, f64)> RefineObserver for F {
+    fn on_pass(&mut self, pass: usize, moves_in_pass: usize, objective: f64) {
+        self(pass, moves_in_pass, objective);
+    }
+}
+
 /// Result of one [`refine`] call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RepartitionOutcome {
@@ -57,13 +84,27 @@ pub fn refine(
     from: &Schedule,
     max_passes: usize,
 ) -> RepartitionOutcome {
+    refine_with(dag, model, from, max_passes, &mut SilentRefine)
+}
+
+/// [`refine`] with a [`RefineObserver`] reporting per-pass progress
+/// (accepted moves and the objective reached). `refine_with(..,
+/// &mut SilentRefine)` is exactly [`refine`].
+pub fn refine_with<O: RefineObserver>(
+    dag: &Dag,
+    model: CostModel,
+    from: &Schedule,
+    max_passes: usize,
+    observer: &mut O,
+) -> RepartitionOutcome {
     let mut eval = IncrementalEvaluator::new(dag, model, from);
     let k = eval.num_stages();
     let mut score = profile(eval.stage_costs());
     let mut moves = 0usize;
     let mut converged = false;
-    for _ in 0..max_passes {
+    for pass in 0..max_passes {
         let mut improved = false;
+        let moves_before = moves;
         for i in 0..dag.len() {
             let v = NodeId(i as u32);
             // dependency window: earliest and latest stage v may occupy
@@ -104,6 +145,7 @@ pub fn refine(
                 improved = true;
             }
         }
+        observer.on_pass(pass, moves - moves_before, eval.bottleneck());
         if !improved {
             converged = true;
             break;
@@ -205,6 +247,27 @@ mod tests {
             out.objective
         );
         assert!(out.moves > 0);
+    }
+
+    #[test]
+    fn observer_sees_every_pass_and_changes_nothing() {
+        let model = CostModel::coral();
+        let dag = models::resnet101v2();
+        let from = ParamBalanced::new().schedule(&dag, 4).unwrap();
+        let silent = refine(&dag, model, &from, 16);
+        let mut passes: Vec<(usize, usize, f64)> = Vec::new();
+        let mut log = |pass: usize, moves: usize, obj: f64| passes.push((pass, moves, obj));
+        let observed = refine_with(&dag, model, &from, 16, &mut log);
+        assert_eq!(observed, silent, "observation never changes the search");
+        assert!(!passes.is_empty());
+        assert_eq!(passes.iter().map(|p| p.1).sum::<usize>(), observed.moves);
+        assert_eq!(
+            passes.last().unwrap().2.to_bits(),
+            observed.objective.to_bits()
+        );
+        for (i, p) in passes.iter().enumerate() {
+            assert_eq!(p.0, i, "passes are reported in order");
+        }
     }
 
     #[test]

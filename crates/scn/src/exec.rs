@@ -15,6 +15,7 @@ use respect::serve::{
     AdmissionPolicy, AutoscalePolicy, BatchPolicy, FleetReport, RouterPolicy, ServeConfig,
     ServeReport, ServeTenant,
 };
+use respect::tpu::probe::{NullProbe, Probe};
 use respect::tpu::sim::{Arrivals, SimConfig, SimReport, Workload};
 use respect_graph::generate::{SyntheticConfig, SyntheticSampler};
 use respect_graph::{models, Dag};
@@ -248,7 +249,8 @@ impl Scenario {
 
     /// Executes the scenario: build, run the engine, evaluate every
     /// assertion. Deterministic — same text, same [`ScenarioRun`],
-    /// bitwise.
+    /// bitwise. Equivalent to [`Scenario::execute_probed`] with a
+    /// `NullProbe`.
     ///
     /// # Errors
     ///
@@ -256,6 +258,19 @@ impl Scenario {
     /// rejects the configuration (positions point at the responsible
     /// directive).
     pub fn execute(&self) -> Result<ScenarioRun, ScnError> {
+        self.execute_probed(&mut NullProbe)
+    }
+
+    /// [`Scenario::execute`] with a [`Probe`] attached to whichever
+    /// engine the scenario drives. The probe is an observer only: the
+    /// returned [`ScenarioRun`] is bitwise-identical to an unprobed
+    /// `execute()`. This is how `respect-test` collects flight-recorder
+    /// and metrics diagnostics when re-running a failing scenario.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::execute`].
+    pub fn execute_probed<P: Probe>(&self, probe: &mut P) -> Result<ScenarioRun, ScnError> {
         let dag = self.dag();
         let d = self.deployment(&dag)?;
         let rpos = self.run.pos;
@@ -272,7 +287,10 @@ impl Scenario {
                 } else {
                     SimConfig::uncontended()
                 };
-                RunOutput::Sim(d.simulate_workloads(&workloads, &cfg).map_err(engine_err)?)
+                RunOutput::Sim(
+                    d.simulate_workloads_probed(&workloads, &cfg, probe)
+                        .map_err(engine_err)?,
+                )
             }
             Engine::Serve => {
                 let tenants: Vec<ServeTenant> = self
@@ -285,7 +303,7 @@ impl Scenario {
                 } else {
                     ServeConfig::uncontended()
                 };
-                RunOutput::Serve(d.serve(&tenants, &cfg).map_err(engine_err)?)
+                RunOutput::Serve(d.serve_probed(&tenants, &cfg, probe).map_err(engine_err)?)
             }
             Engine::Fleet => {
                 let tenants: Vec<ServeTenant> = self
@@ -293,7 +311,7 @@ impl Scenario {
                     .iter()
                     .map(|t| self.serve_tenant(&d, t))
                     .collect::<Result<_, _>>()?;
-                RunOutput::Fleet(d.serve_fleet(&tenants).map_err(engine_err)?)
+                RunOutput::Fleet(d.serve_fleet_probed(&tenants, probe).map_err(engine_err)?)
             }
         };
         let run = ScenarioRun {

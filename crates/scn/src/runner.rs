@@ -6,9 +6,15 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use respect::obs::{FlightRecorder, MetricsRecorder};
+
+use crate::ast::Scenario;
 use crate::exec::{AssertionOutcome, ScenarioRun};
 use crate::parse::parse;
 use crate::ScnError;
+
+/// Probe events kept in the failure flight recorder.
+const FLIGHT_EVENTS: usize = 48;
 
 /// Runner switches (the CLI's `--filter` / `--quick`).
 #[derive(Debug, Clone, Default)]
@@ -35,6 +41,10 @@ pub enum FileOutcome {
         name: Option<String>,
         /// Assertion outcomes, in source order.
         assertions: Vec<AssertionOutcome>,
+        /// Probe-layer evidence from a deterministic re-run of the
+        /// failing scenario: the metrics snapshot and the tail of the
+        /// event stream (see [`diagnose`]).
+        diagnostics: String,
     },
     /// Skipped by `--quick` (tagged `slow`) or `--filter`.
     Skipped {
@@ -170,14 +180,40 @@ fn run_file_inner(path: &Path, opts: &RunnerOptions) -> FileOutcome {
                     assertions: run.assertions,
                 }
             } else {
+                let diagnostics = diagnose(&scenario);
                 FileOutcome::Failed {
                     name: scenario.name,
                     assertions: run.assertions,
+                    diagnostics,
                 }
             }
         }
         Err(e) => FileOutcome::Error(e),
     }
+}
+
+/// Re-runs a failing scenario with a [`MetricsRecorder`] and a bounded
+/// [`FlightRecorder`] attached and renders the evidence: the full
+/// metrics snapshot (TSV) and the last `FLIGHT_EVENTS` (48) probe events
+/// leading up to the end of the run. The engines are deterministic, so
+/// the re-run reproduces the failing run exactly; the probe is an
+/// observer only and cannot perturb it.
+#[must_use]
+pub fn diagnose(scenario: &Scenario) -> String {
+    let mut metrics = MetricsRecorder::new();
+    let mut flight = FlightRecorder::new(FLIGHT_EVENTS);
+    let mut both = (&mut metrics, &mut flight);
+    if let Err(e) = scenario.execute_probed(&mut both) {
+        return format!("diagnostic re-run failed: {e}");
+    }
+    let mut out = String::from("metrics snapshot:\n");
+    for line in metrics.snapshot().to_tsv().lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&flight.dump());
+    out
 }
 
 /// Discovers and runs every scenario under `root`.

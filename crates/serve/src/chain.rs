@@ -33,7 +33,8 @@ use respect_tpu::compile::{self, CompiledPipeline};
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::event_queue::EventQueue;
 use respect_tpu::mem::{InlineVec, Slab, SmallQueue};
-use respect_tpu::sim::{self, ArrivalSampler};
+use respect_tpu::probe::{Probe, ProbeEvent, ShedReason};
+use respect_tpu::sim::{self, ArrivalSampler, ResourceId};
 use respect_tpu::usb;
 
 use crate::drift::{DriftWindow, Repartitioner};
@@ -319,12 +320,13 @@ impl<'a> ChainEngine<'a> {
     /// admission policy decides, an admitted request joins the open
     /// batch (possibly closing it into a job). Returns whether the
     /// request was admitted — the driver records shed/admitted order.
-    pub(crate) fn offer(
+    pub(crate) fn offer<P: Probe>(
         &mut self,
         w: usize,
         r: u32,
         t: f64,
         q: &mut impl EventQueue<Event>,
+        p: &mut P,
     ) -> bool {
         let st = &mut self.states[w];
         let admit = match self.tenants[w].admission {
@@ -336,14 +338,48 @@ impl<'a> ChainEngine<'a> {
             }
         };
         if !admit {
+            if P::ENABLED {
+                let reason = match self.tenants[w].admission {
+                    AdmissionPolicy::QueueBound { .. } => ShedReason::QueueBound,
+                    _ => ShedReason::SloDelay,
+                };
+                p.record(
+                    t,
+                    &ProbeEvent::Shed {
+                        chain: self.c,
+                        tenant: w as u32,
+                        request: r,
+                        reason,
+                    },
+                );
+            }
             return false;
+        }
+        if P::ENABLED {
+            p.record(
+                t,
+                &ProbeEvent::Admit {
+                    chain: self.c,
+                    tenant: w as u32,
+                    request: r,
+                },
+            );
         }
         st.admitted += 1;
         self.in_system += 1;
         st.open.push(r);
+        if P::ENABLED && st.open.len() == 1 {
+            p.record(
+                t,
+                &ProbeEvent::BatchOpen {
+                    chain: self.c,
+                    tenant: w as u32,
+                },
+            );
+        }
         let policy = self.tenants[w].batcher;
         if st.open.len() >= policy.max_batch || policy.max_delay_s == 0.0 {
-            self.close_batch(w, t, q);
+            self.close_batch(w, t, q, p);
         } else if st.open.len() == 1 {
             let epoch = st.open_epoch;
             let ev = self.chain_event(ChainEvent::FlushBatch { w: w as u32, epoch });
@@ -360,11 +396,17 @@ impl<'a> ChainEngine<'a> {
         self.states[w].open_epoch != epoch || self.states[w].open.is_empty()
     }
 
-    pub(crate) fn handle(&mut self, kind: ChainEvent, t: f64, q: &mut impl EventQueue<Event>) {
+    pub(crate) fn handle<P: Probe>(
+        &mut self,
+        kind: ChainEvent,
+        t: f64,
+        q: &mut impl EventQueue<Event>,
+        p: &mut P,
+    ) {
         match kind {
-            ChainEvent::FlushBatch { w, .. } => self.close_batch(w as usize, t, q),
+            ChainEvent::FlushBatch { w, .. } => self.close_batch(w as usize, t, q, p),
             ChainEvent::StageDone { w, j, k } => {
-                self.finish_stage(w as usize, j as usize, k as usize, t, q);
+                self.finish_stage(w as usize, j as usize, k as usize, t, q, p);
             }
             ChainEvent::HostDone { w, j, k } => {
                 let d = self.states[w as usize].jobs[j as usize].timing[k as usize].input_s;
@@ -378,6 +420,7 @@ impl<'a> ChainEngine<'a> {
                     },
                     t,
                     q,
+                    p,
                 );
             }
             ChainEvent::ComputeDone { w, j, k } => {
@@ -392,16 +435,23 @@ impl<'a> ChainEngine<'a> {
                     },
                     t,
                     q,
+                    p,
                 );
             }
             ChainEvent::BusDone { w, j, k, phase } => {
-                self.release_bus(t, q);
-                self.after_bus_phase(w, j, k, phase, t, q);
+                self.release_bus(w, j, k, t, q, p);
+                self.after_bus_phase(w, j, k, phase, t, q, p);
             }
         }
     }
 
-    fn close_batch(&mut self, w: usize, t: f64, q: &mut impl EventQueue<Event>) {
+    fn close_batch<P: Probe>(
+        &mut self,
+        w: usize,
+        t: f64,
+        q: &mut impl EventQueue<Event>,
+        p: &mut P,
+    ) {
         let spec = &self.spec;
         let batch = self.tenants[w].batch;
         let st = &mut self.states[w];
@@ -422,17 +472,39 @@ impl<'a> ChainEngine<'a> {
             }
         };
         st.jobs_executed += 1;
+        if P::ENABLED {
+            p.record(
+                t,
+                &ProbeEvent::BatchClose {
+                    chain: self.c,
+                    tenant: w as u32,
+                    size: count as u32,
+                },
+            );
+        }
         let j = st.jobs.insert(Job { members, timing });
-        self.join_device(w, j, 0, t, q);
+        self.join_device(w, j, 0, t, q, p);
     }
 
-    fn join_device(
+    /// Representative request of job `j` (its first member) — the id
+    /// carried by the job's acquire/release probe events.
+    fn job_request(&self, w: usize, j: usize) -> u32 {
+        self.states[w].jobs[j]
+            .members
+            .as_slice()
+            .first()
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn join_device<P: Probe>(
         &mut self,
         w: usize,
         j: usize,
         k: usize,
         t: f64,
         q: &mut impl EventQueue<Event>,
+        p: &mut P,
     ) {
         if self.devices[k].busy {
             if k == 0 {
@@ -441,20 +513,33 @@ impl<'a> ChainEngine<'a> {
             }
             self.devices[k].queue.push_back((w as u32, j as u32));
         } else {
-            self.seize_device(w, j, k, t, q);
+            self.seize_device(w, j, k, t, q, p);
         }
     }
 
-    fn seize_device(
+    fn seize_device<P: Probe>(
         &mut self,
         w: usize,
         j: usize,
         k: usize,
         t: f64,
         q: &mut impl EventQueue<Event>,
+        p: &mut P,
     ) {
         self.devices[k].busy = true;
         self.devices[k].seized_at = t;
+        if P::ENABLED {
+            p.record(
+                t,
+                &ProbeEvent::Acquire {
+                    chain: self.c,
+                    resource: ResourceId::Device(k),
+                    tenant: w as u32,
+                    request: self.job_request(w, j),
+                    stage: k as u16,
+                },
+            );
+        }
         let timing = self.states[w].jobs[j].timing[k];
         let (w, j, k) = (w as u32, j as u32, k as u16);
         if self.contended_bus {
@@ -468,19 +553,43 @@ impl<'a> ChainEngine<'a> {
 
     /// Zero-length transfers skip the bus entirely (matching
     /// `usb::transfer_time(_, 0) == 0` and the raw engine).
-    fn request_bus(&mut self, req: BusRequest, t: f64, q: &mut impl EventQueue<Event>) {
+    fn request_bus<P: Probe>(
+        &mut self,
+        req: BusRequest,
+        t: f64,
+        q: &mut impl EventQueue<Event>,
+        p: &mut P,
+    ) {
         if req.duration == 0.0 {
-            self.after_bus_phase(req.w, req.j, req.k, req.phase, t, q);
+            self.after_bus_phase(req.w, req.j, req.k, req.phase, t, q, p);
         } else if self.bus.busy {
             self.bus.queue.push_back(req);
         } else {
-            self.grant_bus(req, t, q);
+            self.grant_bus(req, t, q, p);
         }
     }
 
-    fn grant_bus(&mut self, req: BusRequest, t: f64, q: &mut impl EventQueue<Event>) {
+    fn grant_bus<P: Probe>(
+        &mut self,
+        req: BusRequest,
+        t: f64,
+        q: &mut impl EventQueue<Event>,
+        p: &mut P,
+    ) {
         self.bus.busy = true;
         self.bus.busy_s += req.duration;
+        if P::ENABLED {
+            p.record(
+                t,
+                &ProbeEvent::Acquire {
+                    chain: self.c,
+                    resource: ResourceId::Bus,
+                    tenant: req.w,
+                    request: self.job_request(req.w as usize, req.j as usize),
+                    stage: req.k,
+                },
+            );
+        }
         let ev = self.chain_event(ChainEvent::BusDone {
             w: req.w,
             j: req.j,
@@ -490,14 +599,35 @@ impl<'a> ChainEngine<'a> {
         q.push(t + req.duration, ev);
     }
 
-    fn release_bus(&mut self, t: f64, q: &mut impl EventQueue<Event>) {
+    fn release_bus<P: Probe>(
+        &mut self,
+        w: u32,
+        j: u32,
+        k: u16,
+        t: f64,
+        q: &mut impl EventQueue<Event>,
+        p: &mut P,
+    ) {
         self.bus.busy = false;
+        if P::ENABLED {
+            p.record(
+                t,
+                &ProbeEvent::Release {
+                    chain: self.c,
+                    resource: ResourceId::Bus,
+                    tenant: w,
+                    request: self.job_request(w as usize, j as usize),
+                    stage: k,
+                },
+            );
+        }
         if let Some(next) = self.bus.queue.pop_front() {
-            self.grant_bus(next, t, q);
+            self.grant_bus(next, t, q, p);
         }
     }
 
-    fn after_bus_phase(
+    #[allow(clippy::too_many_arguments)] // engine-internal hot path: flat args beat a context struct
+    fn after_bus_phase<P: Probe>(
         &mut self,
         w: u32,
         j: u32,
@@ -505,6 +635,7 @@ impl<'a> ChainEngine<'a> {
         phase: BusPhase,
         t: f64,
         q: &mut impl EventQueue<Event>,
+        p: &mut P,
     ) {
         match phase {
             BusPhase::Input => {
@@ -524,19 +655,21 @@ impl<'a> ChainEngine<'a> {
                     },
                     t,
                     q,
+                    p,
                 );
             }
-            BusPhase::Output => self.finish_stage(w as usize, j as usize, k as usize, t, q),
+            BusPhase::Output => self.finish_stage(w as usize, j as usize, k as usize, t, q, p),
         }
     }
 
-    fn finish_stage(
+    fn finish_stage<P: Probe>(
         &mut self,
         w: usize,
         j: usize,
         k: usize,
         t: f64,
         q: &mut impl EventQueue<Event>,
+        p: &mut P,
     ) {
         // busy-time integration for energy: spans never feed back into
         // event times, so the accounting is observation-only
@@ -544,22 +677,34 @@ impl<'a> ChainEngine<'a> {
         self.busy_s += span;
         self.states[w].busy_s += span;
         self.devices[k].busy = false;
+        if P::ENABLED {
+            p.record(
+                t,
+                &ProbeEvent::Release {
+                    chain: self.c,
+                    resource: ResourceId::Device(k),
+                    tenant: w as u32,
+                    request: self.job_request(w, j),
+                    stage: k as u16,
+                },
+            );
+        }
         if let Some((nw, nj)) = self.devices[k].queue.pop_front() {
             let (nw, nj) = (nw as usize, nj as usize);
             if k == 0 {
                 let st = &mut self.states[nw];
                 st.waiting_stage0 -= st.jobs[nj].members.len();
             }
-            self.seize_device(nw, nj, k, t, q);
+            self.seize_device(nw, nj, k, t, q, p);
         }
         if k + 1 < self.states[w].pipeline_stages(j) {
-            self.join_device(w, j, k + 1, t, q);
+            self.join_device(w, j, k + 1, t, q, p);
         } else {
-            self.complete_job(w, j, t);
+            self.complete_job(w, j, t, p);
         }
     }
 
-    fn complete_job(&mut self, w: usize, j: usize, t: f64) {
+    fn complete_job<P: Probe>(&mut self, w: usize, j: usize, t: f64, p: &mut P) {
         let tenants = self.tenants;
         let st = &mut self.states[w];
         let job = st.jobs.remove(j).expect("completing job is live");
@@ -579,14 +724,15 @@ impl<'a> ChainEngine<'a> {
         }
         if let Some(rep) = tenants[w].repartitioner.as_ref() {
             if st.window.jobs >= rep.policy.window_jobs {
-                self.evaluate_drift(w, t, rep);
+                self.evaluate_drift(w, t, rep, p);
             }
         }
     }
 
-    fn evaluate_drift(&mut self, w: usize, t: f64, rep: &Repartitioner) {
+    fn evaluate_drift<P: Probe>(&mut self, w: usize, t: f64, rep: &Repartitioner, p: &mut P) {
         let spec = &self.spec;
         let batch = self.tenants[w].batch;
+        let c = self.c;
         let st = &mut self.states[w];
         // A well-partitioned pipeline spends equal busy time per stage
         // (the objective is the bottleneck); measured skew against that
@@ -597,19 +743,84 @@ impl<'a> ChainEngine<'a> {
         let uniform = vec![1.0; st.window.busy_s.len()];
         let divergence = st.window.divergence(&uniform);
         st.window.reset();
-        if divergence <= rep.policy.threshold || st.repartition_attempts >= rep.policy.max_swaps {
+        if divergence <= rep.policy.threshold {
+            return;
+        }
+        if P::ENABLED {
+            p.record(
+                t,
+                &ProbeEvent::DriftTrigger {
+                    chain: c,
+                    tenant: w as u32,
+                    divergence,
+                },
+            );
+        }
+        if st.repartition_attempts >= rep.policy.max_swaps {
             return;
         }
         st.repartition_attempts += 1;
         let from_obj = rep.model.objective(&rep.dag, &st.pipeline.schedule);
-        let out = repartition::refine(
-            &rep.dag,
-            rep.model,
-            &st.pipeline.schedule,
-            rep.policy.passes,
-        );
+        let out = if P::ENABLED {
+            let mut on_pass = |pass: usize, moves_in_pass: usize, objective: f64| {
+                p.record(
+                    t,
+                    &ProbeEvent::RepartitionPass {
+                        chain: c,
+                        tenant: w as u32,
+                        pass: pass as u32,
+                        moves: moves_in_pass as u32,
+                        objective_s: objective,
+                    },
+                );
+            };
+            repartition::refine_with(
+                &rep.dag,
+                rep.model,
+                &st.pipeline.schedule,
+                rep.policy.passes,
+                &mut on_pass,
+            )
+        } else {
+            repartition::refine(
+                &rep.dag,
+                rep.model,
+                &st.pipeline.schedule,
+                rep.policy.passes,
+            )
+        };
+        if P::ENABLED {
+            p.record(
+                t,
+                &ProbeEvent::RepartitionProposal {
+                    chain: c,
+                    tenant: w as u32,
+                    from_objective_s: from_obj,
+                    to_objective_s: out.objective,
+                    moves: out.moves as u32,
+                },
+            );
+        }
         if out.objective >= from_obj * (1.0 - rep.policy.min_gain) {
+            if P::ENABLED {
+                p.record(
+                    t,
+                    &ProbeEvent::RepartitionReject {
+                        chain: c,
+                        tenant: w as u32,
+                    },
+                );
+            }
             return;
+        }
+        if P::ENABLED {
+            p.record(
+                t,
+                &ProbeEvent::RepartitionAccept {
+                    chain: c,
+                    tenant: w as u32,
+                },
+            );
         }
         let new_pipeline = compile::compile(&rep.dag, &out.schedule, spec)
             .expect("refined schedule stays valid for the tenant's dag");

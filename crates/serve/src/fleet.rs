@@ -34,6 +34,7 @@ use rand::{Rng, SeedableRng};
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::energy::{self, EnergyTotals};
 use respect_tpu::event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
+use respect_tpu::probe::{NullProbe, Probe, ProbeEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::chain::{ChainEngine, ChainEvent, Event, TenantRecords};
@@ -345,6 +346,41 @@ impl FleetReport {
     pub fn offered(&self) -> usize {
         self.tenants.iter().map(|t| t.offered).sum()
     }
+
+    /// Autoscaler decisions in time order — the accessor twin of the
+    /// [`FleetReport::scale_events`] field, for parity with the derived
+    /// metrics above.
+    #[must_use]
+    pub fn scale_event_log(&self) -> &[ScaleEvent] {
+        &self.scale_events
+    }
+
+    /// Autoscaler decisions that grew the active prefix.
+    #[must_use]
+    pub fn scale_up_count(&self) -> usize {
+        self.scale_events.iter().filter(|e| e.to > e.from).count()
+    }
+
+    /// Autoscaler decisions that shrank the active prefix.
+    #[must_use]
+    pub fn scale_down_count(&self) -> usize {
+        self.scale_events.iter().filter(|e| e.to < e.from).count()
+    }
+
+    /// Pipeline hot-swaps accepted per chain, in
+    /// [`FleetConfig::chains`] order.
+    #[must_use]
+    pub fn chain_swap_counts(&self) -> Vec<usize> {
+        self.chains.iter().map(|c| c.swaps).collect()
+    }
+
+    /// Pipeline hot-swaps accepted across the whole fleet. Equals the
+    /// per-tenant swap records summed, since every accepted swap is
+    /// charged to exactly one (chain, tenant) pair.
+    #[must_use]
+    pub fn total_swaps(&self) -> usize {
+        self.chains.iter().map(|c| c.swaps).sum()
+    }
 }
 
 /// Marks a request that was shed (never routed to any chain).
@@ -352,7 +388,7 @@ const UNROUTED: u16 = u16::MAX;
 
 /// The fleet driver: N [`ChainEngine`]s, one clock, one pending-event
 /// set, a router, and the autoscaler.
-struct FleetEngine<'a, Q> {
+struct FleetEngine<'a, Q, P> {
     tenants: &'a [ServeTenant],
     cfg: &'a FleetConfig,
     queue: Q,
@@ -377,10 +413,11 @@ struct FleetEngine<'a, Q> {
     jobs_since_check: usize,
     events: u64,
     now: f64,
+    probe: &'a mut P,
 }
 
-impl<'a, Q: EventQueue<Event>> FleetEngine<'a, Q> {
-    fn new(tenants: &'a [ServeTenant], cfg: &'a FleetConfig) -> Self {
+impl<'a, Q: EventQueue<Event>, P: Probe> FleetEngine<'a, Q, P> {
+    fn new(tenants: &'a [ServeTenant], cfg: &'a FleetConfig, probe: &'a mut P) -> Self {
         let n = cfg.chains.len();
         let active = cfg.autoscale.map_or(n, |pol| pol.min_chains.min(n));
         let chains = cfg
@@ -410,6 +447,7 @@ impl<'a, Q: EventQueue<Event>> FleetEngine<'a, Q> {
             jobs_since_check: 0,
             events: 0,
             now: 0.0,
+            probe,
         }
     }
 
@@ -436,10 +474,22 @@ impl<'a, Q: EventQueue<Event>> FleetEngine<'a, Q> {
                 Event::Arrive { w, r } => self.arrive(w as usize, r, t),
                 Event::Chain { c, k } => {
                     let c = c as usize;
-                    self.chains[c].handle(k, t, &mut self.queue);
+                    self.chains[c].handle(k, t, &mut self.queue, &mut *self.probe);
                     if !self.chains[c].completed.is_empty() {
                         while let Some((w, r)) = self.chains[c].completed.pop() {
-                            self.recs[w as usize].completed_at[r as usize] = t;
+                            let recs = &mut self.recs[w as usize];
+                            recs.completed_at[r as usize] = t;
+                            if P::ENABLED {
+                                self.probe.record(
+                                    t,
+                                    &ProbeEvent::Completion {
+                                        chain: c as u16,
+                                        tenant: w,
+                                        request: r,
+                                        latency_s: t - recs.arrivals_at[r as usize],
+                                    },
+                                );
+                            }
                         }
                         // a non-empty drain means exactly one job
                         // completed — the autoscaler's job boundary
@@ -464,7 +514,25 @@ impl<'a, Q: EventQueue<Event>> FleetEngine<'a, Q> {
             );
         }
         let c = self.route(w);
-        if self.chains[c].offer(w, r, t, &mut self.queue) {
+        if P::ENABLED {
+            self.probe.record(
+                t,
+                &ProbeEvent::Arrival {
+                    chain: c as u16,
+                    tenant: w as u32,
+                    request: r,
+                },
+            );
+            self.probe.record(
+                t,
+                &ProbeEvent::RouterDecision {
+                    tenant: w as u32,
+                    request: r,
+                    chain: c as u16,
+                },
+            );
+        }
+        if self.chains[c].offer(w, r, t, &mut self.queue, &mut *self.probe) {
             self.recs[w].admitted.push(r);
             self.routed[w][r as usize] = c as u16;
         } else {
@@ -534,6 +602,15 @@ impl<'a, Q: EventQueue<Event>> FleetEngine<'a, Q> {
                 from: self.active,
                 to: self.active + 1,
             });
+            if P::ENABLED {
+                self.probe.record(
+                    t,
+                    &ProbeEvent::ScaleUp {
+                        from: self.active as u16,
+                        to: (self.active + 1) as u16,
+                    },
+                );
+            }
             self.active += 1;
         } else if mean < pol.scale_down_s && self.active > pol.min_chains {
             self.active -= 1;
@@ -545,6 +622,15 @@ impl<'a, Q: EventQueue<Event>> FleetEngine<'a, Q> {
                 from: self.active + 1,
                 to: self.active,
             });
+            if P::ENABLED {
+                self.probe.record(
+                    t,
+                    &ProbeEvent::ScaleDown {
+                        from: (self.active + 1) as u16,
+                        to: self.active as u16,
+                    },
+                );
+            }
         }
     }
 
@@ -707,10 +793,31 @@ fn validate_fleet(cfg: &FleetConfig) -> Result<(), ServeError> {
 /// # }
 /// ```
 pub fn serve_fleet(tenants: &[ServeTenant], cfg: &FleetConfig) -> Result<FleetReport, ServeError> {
+    serve_fleet_probed(tenants, cfg, &mut NullProbe)
+}
+
+/// [`serve_fleet`] with a [`Probe`] observing every router decision,
+/// autoscale step, arrival, admission decision, batch, resource span,
+/// completion, and repartition event across the whole fleet.
+/// `serve_fleet_probed(.., &mut NullProbe)` is exactly [`serve_fleet`] —
+/// the instrumentation compiles away and the run is bitwise identical.
+///
+/// # Errors
+///
+/// As [`serve_fleet`].
+pub fn serve_fleet_probed<P: Probe>(
+    tenants: &[ServeTenant],
+    cfg: &FleetConfig,
+    probe: &mut P,
+) -> Result<FleetReport, ServeError> {
     validate_tenants(tenants)?;
     validate_fleet(cfg)?;
     Ok(match cfg.queue {
-        QueueKind::BinaryHeap => FleetEngine::<BinaryHeapQueue<Event>>::new(tenants, cfg).run(),
-        QueueKind::Calendar => FleetEngine::<CalendarQueue<Event>>::new(tenants, cfg).run(),
+        QueueKind::BinaryHeap => {
+            FleetEngine::<BinaryHeapQueue<Event>, P>::new(tenants, cfg, probe).run()
+        }
+        QueueKind::Calendar => {
+            FleetEngine::<CalendarQueue<Event>, P>::new(tenants, cfg, probe).run()
+        }
     })
 }

@@ -18,6 +18,13 @@
 //!   extending reports with p50/p95/p99/p999;
 //! * [`drift`] — the utilization window and re-partitioning policy.
 //!
+//! Every entry point has a `_probed` twin ([`serve_probed`],
+//! [`serve_fleet_probed`]) taking a [`respect_tpu::probe::Probe`] that
+//! observes the typed event stream (arrivals, admission decisions,
+//! batches, resource spans, completions, repartitions, router and
+//! autoscaler steps). With the default `NullProbe` the instrumentation
+//! compiles away and the probed twins are bitwise the plain ones.
+//!
 //! The runtime is bitwise-deterministic per seed, and its degenerate
 //! configuration (no batching, open admission, no repartitioning)
 //! reproduces the raw simulator bitwise — the same differential-testing
@@ -57,10 +64,11 @@ pub mod runtime;
 
 pub use drift::{DriftPolicy, DriftWindow, Repartitioner};
 pub use fleet::{
-    serve_fleet, AutoscalePolicy, ChainReport, FleetConfig, FleetReport, RouterPolicy, ScaleEvent,
+    serve_fleet, serve_fleet_probed, AutoscalePolicy, ChainReport, FleetConfig, FleetReport,
+    RouterPolicy, ScaleEvent,
 };
 pub use hist::LatencyHistogram;
 pub use runtime::{
-    serve, AdmissionPolicy, BatchPolicy, ServeConfig, ServeError, ServeReport, ServeTenant,
-    SwapRecord, TenantServeReport,
+    serve, serve_probed, AdmissionPolicy, BatchPolicy, ServeConfig, ServeError, ServeReport,
+    ServeTenant, SwapRecord, TenantServeReport,
 };

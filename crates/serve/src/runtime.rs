@@ -44,6 +44,7 @@ use std::fmt;
 use respect_tpu::compile::CompiledPipeline;
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
+use respect_tpu::probe::{NullProbe, Probe, ProbeEvent};
 use respect_tpu::sim::{Arrivals, CompletionRecord, SimError};
 use serde::{Deserialize, Serialize};
 
@@ -587,7 +588,7 @@ pub(crate) fn tenant_report(
 
 /// The single-chain driver: one [`ChainEngine`] (index 0), one clock,
 /// one pending-event set.
-struct Driver<'a, Q> {
+struct Driver<'a, Q, P> {
     tenants: &'a [ServeTenant],
     cfg: ServeConfig,
     queue: Q,
@@ -595,10 +596,16 @@ struct Driver<'a, Q> {
     recs: Vec<TenantRecords>,
     events: u64,
     now: f64,
+    probe: &'a mut P,
 }
 
-impl<'a, Q: EventQueue<Event>> Driver<'a, Q> {
-    fn new(tenants: &'a [ServeTenant], spec: &DeviceSpec, cfg: ServeConfig) -> Self {
+impl<'a, Q: EventQueue<Event>, P: Probe> Driver<'a, Q, P> {
+    fn new(
+        tenants: &'a [ServeTenant],
+        spec: &DeviceSpec,
+        cfg: ServeConfig,
+        probe: &'a mut P,
+    ) -> Self {
         Driver {
             tenants,
             cfg,
@@ -607,6 +614,7 @@ impl<'a, Q: EventQueue<Event>> Driver<'a, Q> {
             recs: tenants.iter().map(TenantRecords::new).collect(),
             events: 0,
             now: 0.0,
+            probe,
         }
     }
 
@@ -633,9 +641,21 @@ impl<'a, Q: EventQueue<Event>> Driver<'a, Q> {
             match ev {
                 Event::Arrive { w, r } => self.arrive(w as usize, r, t),
                 Event::Chain { k, .. } => {
-                    self.chain.handle(k, t, &mut self.queue);
+                    self.chain.handle(k, t, &mut self.queue, &mut *self.probe);
                     for (w, r) in self.chain.completed.drain(..) {
-                        self.recs[w as usize].completed_at[r as usize] = t;
+                        let recs = &mut self.recs[w as usize];
+                        recs.completed_at[r as usize] = t;
+                        if P::ENABLED {
+                            self.probe.record(
+                                t,
+                                &ProbeEvent::Completion {
+                                    chain: 0,
+                                    tenant: w,
+                                    request: r,
+                                    latency_s: t - recs.arrivals_at[r as usize],
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -645,6 +665,16 @@ impl<'a, Q: EventQueue<Event>> Driver<'a, Q> {
 
     fn arrive(&mut self, w: usize, r: u32, t: f64) {
         self.recs[w].arrivals_at[r as usize] = t;
+        if P::ENABLED {
+            self.probe.record(
+                t,
+                &ProbeEvent::Arrival {
+                    chain: 0,
+                    tenant: w as u32,
+                    request: r,
+                },
+            );
+        }
         if (r as usize) + 1 < self.tenants[w].requests {
             let tn = self.recs[w].sampler.next_arrival_s();
             self.queue.push(
@@ -655,7 +685,7 @@ impl<'a, Q: EventQueue<Event>> Driver<'a, Q> {
                 },
             );
         }
-        if self.chain.offer(w, r, t, &mut self.queue) {
+        if self.chain.offer(w, r, t, &mut self.queue, &mut *self.probe) {
             self.recs[w].admitted.push(r);
         } else {
             self.recs[w].shed += 1;
@@ -774,9 +804,30 @@ pub fn serve(
     spec: &DeviceSpec,
     cfg: &ServeConfig,
 ) -> Result<ServeReport, ServeError> {
+    serve_probed(tenants, spec, cfg, &mut NullProbe)
+}
+
+/// [`serve`] with a [`Probe`] observing every arrival, admission
+/// decision, batch, resource span, completion, and repartition event.
+/// `serve_probed(.., &mut NullProbe)` is exactly [`serve`] — the
+/// instrumentation compiles away and the run is bitwise identical.
+///
+/// # Errors
+///
+/// As [`serve`].
+pub fn serve_probed<P: Probe>(
+    tenants: &[ServeTenant],
+    spec: &DeviceSpec,
+    cfg: &ServeConfig,
+    probe: &mut P,
+) -> Result<ServeReport, ServeError> {
     validate_tenants(tenants)?;
     Ok(match cfg.queue {
-        QueueKind::BinaryHeap => Driver::<BinaryHeapQueue<Event>>::new(tenants, spec, *cfg).run(),
-        QueueKind::Calendar => Driver::<CalendarQueue<Event>>::new(tenants, spec, *cfg).run(),
+        QueueKind::BinaryHeap => {
+            Driver::<BinaryHeapQueue<Event>, P>::new(tenants, spec, *cfg, probe).run()
+        }
+        QueueKind::Calendar => {
+            Driver::<CalendarQueue<Event>, P>::new(tenants, spec, *cfg, probe).run()
+        }
     })
 }

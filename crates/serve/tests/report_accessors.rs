@@ -8,7 +8,8 @@ use respect_graph::models;
 use respect_sched::balanced::OpBalanced;
 use respect_sched::Scheduler;
 use respect_serve::{
-    serve, serve_fleet, AdmissionPolicy, FleetConfig, RouterPolicy, ServeConfig, ServeTenant,
+    serve, serve_fleet, AdmissionPolicy, AutoscalePolicy, BatchPolicy, DriftPolicy, FleetConfig,
+    Repartitioner, RouterPolicy, ServeConfig, ServeTenant,
 };
 use respect_tpu::sim::Arrivals;
 use respect_tpu::{compile, CompiledPipeline, DeviceSpec};
@@ -103,6 +104,84 @@ fn chain_shed_attribution_sums_to_the_fleet_total() {
         r.tenants.iter().map(|t| t.offered).sum::<usize>()
     );
     assert_eq!(r.admitted() + r.shed(), r.offered());
+}
+
+#[test]
+fn fleet_swap_log_accessors_mirror_the_per_chain_reports() {
+    // A deliberately poor partition (op-count balancing on DenseNet)
+    // with a per-chain repartitioner: swaps must fire, and the
+    // accessor surface must agree with the underlying logs.
+    let dag = models::densenet121();
+    let spec = DeviceSpec::coral();
+    let schedule = OpBalanced::new().schedule(&dag, 6).unwrap();
+    let poor = compile::compile(&dag, &schedule, &spec).unwrap();
+    let tenant = ServeTenant::new(poor, 1_200)
+        .with_warmup(100)
+        .with_batcher(BatchPolicy::new(8, 5e-3))
+        .with_repartitioner(
+            Repartitioner::new(dag.clone(), spec.cost_model()).with_policy(
+                DriftPolicy::new()
+                    .with_window_jobs(24)
+                    .with_threshold(0.08)
+                    .with_max_swaps(3),
+            ),
+        );
+    let cfg = FleetConfig::homogeneous(2, spec);
+    let r = serve_fleet(&[tenant], &cfg).unwrap();
+    assert_eq!(r.chain_swap_counts().len(), r.chains.len());
+    assert_eq!(
+        r.chain_swap_counts(),
+        r.chains.iter().map(|c| c.swaps).collect::<Vec<_>>()
+    );
+    assert_eq!(r.chain_swap_counts().iter().sum::<usize>(), r.total_swaps());
+    assert_eq!(
+        r.total_swaps(),
+        r.tenants.iter().map(|t| t.swaps.len()).sum::<usize>(),
+        "every accepted swap is charged to exactly one chain and one tenant"
+    );
+    assert!(
+        r.total_swaps() > 0,
+        "the poor deployment must trigger swaps"
+    );
+    assert!(
+        r.scale_event_log().is_empty(),
+        "no autoscaler means no scale events"
+    );
+    assert_eq!(r.scale_up_count(), 0);
+    assert_eq!(r.scale_down_count(), 0);
+}
+
+#[test]
+fn fleet_scale_log_accessors_mirror_the_event_log() {
+    // Flood a 3-chain autoscaled fleet so the active prefix must grow.
+    let p = pipeline();
+    let flood = ServeTenant::new(p, 600)
+        .with_arrivals(Arrivals::Poisson {
+            rate: 2_000.0,
+            seed: 11,
+        })
+        .with_batcher(BatchPolicy::new(8, 2e-3));
+    let cfg = FleetConfig::homogeneous(3, DeviceSpec::coral()).with_autoscale(
+        AutoscalePolicy::new()
+            .with_check_jobs(2)
+            .with_scale_up_s(0.005)
+            .with_scale_down_s(0.001),
+    );
+    let r = serve_fleet(&[flood], &cfg).unwrap();
+    assert_eq!(r.scale_event_log(), r.scale_events.as_slice());
+    assert_eq!(
+        r.scale_up_count() + r.scale_down_count(),
+        r.scale_event_log().len(),
+        "every scale event either grows or shrinks the prefix"
+    );
+    assert!(r.scale_up_count() >= 1, "the flood must scale the fleet up");
+    // the log is a contiguous chain: each step starts where the last
+    // ended, beginning at the min_chains floor
+    let mut active = 1usize;
+    for e in r.scale_event_log() {
+        assert_eq!(e.from, active, "scale events must chain contiguously");
+        active = e.to;
+    }
 }
 
 #[test]

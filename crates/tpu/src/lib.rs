@@ -23,6 +23,9 @@
 //!   identical `(time, seq)` sequences;
 //! * [`mem`] — allocation-lean containers (inline FIFO rings, inline
 //!   vectors, a deterministic slab) for the event hot path;
+//! * [`probe`] — zero-cost observability hooks: the [`Probe`] trait and
+//!   typed [`ProbeEvent`]s emitted by this engine and every serving
+//!   layer above it, compiled away under the default [`NullProbe`];
 //! * [`exec`] — pipelined inference streams on top of [`sim`] (the
 //!   Fig. 4 on-chip runtime metric), plus the closed-form analytic
 //!   oracle the engine is differentially tested against;
@@ -53,6 +56,7 @@ pub mod energy;
 pub mod event_queue;
 pub mod exec;
 pub mod mem;
+pub mod probe;
 pub mod profiling;
 pub mod sim;
 pub mod usb;
@@ -61,6 +65,7 @@ pub use compile::{CompiledPipeline, EdgeTpuCompiler, Segment};
 pub use device::DeviceSpec;
 pub use event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
 pub use exec::InferenceReport;
+pub use probe::{NullProbe, Probe, ProbeEvent, ShedReason};
 pub use sim::{
     ArrivalSampler, Arrivals, CompletionRecord, SimConfig, SimError, SimReport, TenantReport,
     Workload,

@@ -1,0 +1,416 @@
+//! Zero-cost observability hooks for the sim → serve → fleet stack.
+//!
+//! Every runtime layer in this workspace (the raw discrete-event engine
+//! in [`crate::sim`], the chain/serving runtime and the fleet layer in
+//! `respect_serve`, and the online re-partitioner in
+//! `respect_sched::repartition`) takes a [`Probe`] — a monomorphized
+//! observer that receives typed, structured [`ProbeEvent`]s carrying
+//! sim-time, tenant, chain, and request identities. The default
+//! [`NullProbe`] sets [`Probe::ENABLED`] to `false`; every emission
+//! site is guarded by `if P::ENABLED`, so with the default probe the
+//! compiler deletes the instrumentation entirely and the hot path is
+//! bit-for-bit and cycle-for-cycle the uninstrumented engine.
+//!
+//! Recorders that do something useful with the stream (metrics
+//! counters, Chrome `trace_event` JSON, a bounded flight-recorder ring)
+//! live in the `respect_obs` crate; this module only defines the
+//! contract, low enough in the crate graph that every layer can emit
+//! into it.
+//!
+//! # Example
+//!
+//! A probe is just a mutable visitor; collecting events into a `Vec` is
+//! a one-liner:
+//!
+//! ```
+//! use respect_tpu::probe::{Probe, ProbeEvent};
+//!
+//! #[derive(Default)]
+//! struct Collect(Vec<(f64, ProbeEvent)>);
+//!
+//! impl Probe for Collect {
+//!     fn record(&mut self, t: f64, ev: &ProbeEvent) {
+//!         self.0.push((t, *ev));
+//!     }
+//! }
+//!
+//! let mut p = Collect::default();
+//! p.record(0.5, &ProbeEvent::Arrival { chain: 0, tenant: 0, request: 7 });
+//! assert_eq!(p.0.len(), 1);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::sim::{ResourceId, TraceSpan};
+
+/// Why an admission controller refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The tenant's waiting queue was at its bound.
+    QueueBound,
+    /// The estimated queueing delay exceeded the SLO target.
+    SloDelay,
+}
+
+/// One structured observation from a runtime layer.
+///
+/// Identity conventions: `chain` is the fleet chain index (always `0`
+/// in the raw simulator and the single-chain serving runtime), `tenant`
+/// is the workload index in input order, and `request` is the tenant's
+/// request index. Sim-time is *not* carried here — it is the first
+/// argument of [`Probe::record`], so the payload stays `Copy`-small.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ProbeEvent {
+    /// A request entered the system.
+    Arrival {
+        chain: u16,
+        tenant: u32,
+        request: u32,
+    },
+    /// Admission control accepted the request.
+    Admit {
+        chain: u16,
+        tenant: u32,
+        request: u32,
+    },
+    /// Admission control shed the request.
+    Shed {
+        chain: u16,
+        tenant: u32,
+        request: u32,
+        reason: ShedReason,
+    },
+    /// A dynamic batch opened (first request began waiting).
+    BatchOpen { chain: u16, tenant: u32 },
+    /// A dynamic batch closed and was dispatched with `size` requests.
+    BatchClose { chain: u16, tenant: u32, size: u32 },
+    /// A resource (device or bus) was seized.
+    Acquire {
+        chain: u16,
+        resource: ResourceId,
+        tenant: u32,
+        request: u32,
+        stage: u16,
+    },
+    /// A resource (device or bus) was released.
+    Release {
+        chain: u16,
+        resource: ResourceId,
+        tenant: u32,
+        request: u32,
+        stage: u16,
+    },
+    /// A request finished its last stage.
+    Completion {
+        chain: u16,
+        tenant: u32,
+        request: u32,
+        /// Sojourn time (completion − arrival), seconds.
+        latency_s: f64,
+    },
+    /// A drift window tripped its divergence threshold.
+    DriftTrigger {
+        chain: u16,
+        tenant: u32,
+        divergence: f64,
+    },
+    /// One refinement pass of the online re-partitioner finished.
+    RepartitionPass {
+        chain: u16,
+        tenant: u32,
+        pass: u32,
+        /// Single-node moves applied in this pass.
+        moves: u32,
+        /// Bottleneck objective after the pass, seconds.
+        objective_s: f64,
+    },
+    /// The re-partitioner proposed a refined schedule.
+    RepartitionProposal {
+        chain: u16,
+        tenant: u32,
+        from_objective_s: f64,
+        to_objective_s: f64,
+        moves: u32,
+    },
+    /// The proposal cleared the min-gain gate and was hot-swapped in.
+    RepartitionAccept { chain: u16, tenant: u32 },
+    /// The proposal's gain was below the gate; nothing was swapped.
+    RepartitionReject { chain: u16, tenant: u32 },
+    /// The autoscaler powered chains up (`from < to` active chains).
+    ScaleUp { from: u16, to: u16 },
+    /// The autoscaler powered chains down (`from > to` active chains).
+    ScaleDown { from: u16, to: u16 },
+    /// The fleet router assigned a request to a chain.
+    RouterDecision {
+        tenant: u32,
+        request: u32,
+        chain: u16,
+    },
+}
+
+/// A monomorphized event observer threaded through every engine.
+///
+/// Implementations must be deterministic if the surrounding run is to
+/// stay deterministic: `record` is called at every instrumented point
+/// in exact event order, with the simulated time of the event.
+///
+/// The associated [`ENABLED`](Probe::ENABLED) constant is the zero-cost
+/// switch: emission sites compile to `if P::ENABLED { probe.record(..) }`,
+/// so a probe that sets it to `false` ([`NullProbe`]) costs nothing —
+/// the branch and the event construction are both deleted by
+/// monomorphization.
+///
+/// A custom probe is one method; [`crate::sim::run_probed`] (and the
+/// `serve`/`fleet` twins in `respect_serve`) thread it through a run:
+///
+/// ```
+/// use respect_tpu::probe::{Probe, ProbeEvent};
+///
+/// /// Counts completions and remembers the worst sojourn.
+/// #[derive(Default)]
+/// struct WorstCase {
+///     completions: u64,
+///     worst_s: f64,
+/// }
+///
+/// impl Probe for WorstCase {
+///     fn record(&mut self, _t: f64, ev: &ProbeEvent) {
+///         if let ProbeEvent::Completion { latency_s, .. } = *ev {
+///             self.completions += 1;
+///             self.worst_s = self.worst_s.max(latency_s);
+///         }
+///     }
+/// }
+///
+/// let mut p = WorstCase::default();
+/// p.record(0.2, &ProbeEvent::Completion {
+///     chain: 0, tenant: 0, request: 0, latency_s: 0.2,
+/// });
+/// assert_eq!((p.completions, p.worst_s), (1, 0.2));
+/// ```
+pub trait Probe {
+    /// `false` compiles every emission site away (see [`NullProbe`]).
+    const ENABLED: bool = true;
+
+    /// Observes one event at simulated time `t` (seconds).
+    fn record(&mut self, t: f64, ev: &ProbeEvent);
+}
+
+/// The default probe: observes nothing, costs nothing.
+///
+/// `ENABLED = false` turns every guarded emission site into dead code,
+/// so engines instantiated with `NullProbe` are the uninstrumented
+/// engines — asserted bitwise by the equivalence tests and by the
+/// `obs` throughput bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _t: f64, _ev: &ProbeEvent) {}
+}
+
+impl<P: Probe> Probe for &mut P {
+    const ENABLED: bool = P::ENABLED;
+
+    #[inline]
+    fn record(&mut self, t: f64, ev: &ProbeEvent) {
+        (**self).record(t, ev);
+    }
+}
+
+/// Fan-out: both probes observe every event, in tuple order.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn record(&mut self, t: f64, ev: &ProbeEvent) {
+        if A::ENABLED {
+            self.0.record(t, ev);
+        }
+        if B::ENABLED {
+            self.1.record(t, ev);
+        }
+    }
+}
+
+/// Busy-interval log with an optional ring-mode cap — the recorder
+/// behind [`crate::sim::SimConfig::record_trace`].
+///
+/// Unbounded mode reproduces the historical `SimReport::trace` exactly.
+/// Bounded mode (see [`crate::sim::SimConfig::with_trace_cap`]) keeps
+/// only the *last* `cap` spans in arrival order, so multi-hour soak
+/// horizons can record a post-mortem tail in constant memory instead of
+/// growing without bound.
+#[derive(Debug, Clone, Default)]
+pub struct SpanLog {
+    spans: Vec<TraceSpan>,
+    cap: Option<usize>,
+    /// Ring write cursor, meaningful once `spans.len() == cap`.
+    head: usize,
+    dropped: u64,
+}
+
+impl SpanLog {
+    /// A log that grows without bound (the historical behavior).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        SpanLog::default()
+    }
+
+    /// A log that keeps only the most recent `cap` spans. A zero cap
+    /// drops everything.
+    #[must_use]
+    pub fn bounded(cap: usize) -> Self {
+        SpanLog {
+            spans: Vec::with_capacity(cap.min(4096)),
+            cap: Some(cap),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends one span, evicting the oldest when at the cap.
+    pub fn push(&mut self, span: TraceSpan) {
+        match self.cap {
+            None => self.spans.push(span),
+            Some(0) => self.dropped += 1,
+            Some(cap) => {
+                if self.spans.len() < cap {
+                    self.spans.push(span);
+                } else {
+                    self.spans[self.head] = span;
+                    self.head = (self.head + 1) % cap;
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Spans recorded and retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans evicted (or refused, at cap 0) by ring mode.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the log into chronologically ordered spans (rotating
+    /// the ring so the oldest retained span comes first).
+    #[must_use]
+    pub fn into_vec(mut self) -> Vec<TraceSpan> {
+        if self.cap.is_some() && self.head > 0 {
+            self.spans.rotate_left(self.head);
+        }
+        self.spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(i: usize) -> TraceSpan {
+        TraceSpan {
+            resource: ResourceId::Bus,
+            tenant: 0,
+            request: i,
+            stage: 0,
+            start_s: i as f64,
+            end_s: i as f64 + 0.5,
+        }
+    }
+
+    #[test]
+    fn unbounded_log_keeps_everything_in_order() {
+        let mut log = SpanLog::unbounded();
+        for i in 0..10 {
+            log.push(span(i));
+        }
+        assert_eq!(log.len(), 10);
+        assert_eq!(log.dropped(), 0);
+        let v = log.into_vec();
+        assert_eq!(
+            v.iter().map(|s| s.request).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bounded_log_keeps_the_chronological_tail() {
+        let mut log = SpanLog::bounded(4);
+        for i in 0..10 {
+            log.push(span(i));
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.dropped(), 6);
+        let v = log.into_vec();
+        assert_eq!(
+            v.iter().map(|s| s.request).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn bounded_log_below_cap_matches_unbounded() {
+        let mut log = SpanLog::bounded(16);
+        for i in 0..5 {
+            log.push(span(i));
+        }
+        assert_eq!(log.dropped(), 0);
+        let v = log.into_vec();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0].request, 0);
+    }
+
+    #[test]
+    fn zero_cap_drops_everything() {
+        let mut log = SpanLog::bounded(0);
+        for i in 0..3 {
+            log.push(span(i));
+        }
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 3);
+        assert!(log.into_vec().is_empty());
+    }
+
+    #[test]
+    fn null_probe_is_disabled_and_fanout_composes() {
+        const { assert!(!NullProbe::ENABLED) };
+        const { assert!(!<(NullProbe, NullProbe)>::ENABLED) };
+        #[derive(Default)]
+        struct Count(u64);
+        impl Probe for Count {
+            fn record(&mut self, _t: f64, _ev: &ProbeEvent) {
+                self.0 += 1;
+            }
+        }
+        const { assert!(<(NullProbe, Count)>::ENABLED) };
+        let mut pair = (Count::default(), NullProbe);
+        let ev = ProbeEvent::Arrival {
+            chain: 0,
+            tenant: 1,
+            request: 2,
+        };
+        pair.record(0.0, &ev);
+        pair.record(1.0, &ev);
+        assert_eq!(pair.0 .0, 2);
+        // through the &mut combinator explicitly
+        let mut by_ref = &mut pair;
+        Probe::record(&mut by_ref, 2.0, &ev);
+        assert_eq!(pair.0 .0, 3);
+    }
+}

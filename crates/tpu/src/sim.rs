@@ -56,6 +56,7 @@ use crate::compile::{CompiledPipeline, Segment};
 use crate::device::DeviceSpec;
 use crate::event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
 use crate::mem::SmallQueue;
+use crate::probe::{NullProbe, Probe, ProbeEvent, SpanLog};
 use crate::usb;
 
 /// Errors rejected by [`run`] before any event is simulated.
@@ -456,8 +457,13 @@ pub struct SimConfig {
     /// served in FIFO order.
     pub contended_bus: bool,
     /// Record per-resource busy intervals in [`SimReport::trace`]
-    /// (costs memory proportional to event count; meant for tests).
+    /// (costs memory proportional to event count unless capped by
+    /// [`SimConfig::trace_cap`]; meant for tests and post-mortems).
     pub record_trace: bool,
+    /// `Some(n)`: keep only the most recent `n` trace spans (ring
+    /// mode — constant memory on long horizons). `None`: unbounded,
+    /// the historical behavior.
+    pub trace_cap: Option<usize>,
     /// Record exact per-request `(arrival, completion)` event times in
     /// [`TenantReport::completions`] (costs memory proportional to
     /// request count). The percentile layer of `respect_serve` is
@@ -476,6 +482,7 @@ impl SimConfig {
         SimConfig {
             contended_bus: false,
             record_trace: false,
+            trace_cap: None,
             record_completions: false,
             queue: QueueKind::default(),
         }
@@ -487,6 +494,7 @@ impl SimConfig {
         SimConfig {
             contended_bus: true,
             record_trace: false,
+            trace_cap: None,
             record_completions: false,
             queue: QueueKind::default(),
         }
@@ -496,6 +504,15 @@ impl SimConfig {
     #[must_use]
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Enables trace recording, keeping only the most recent `cap`
+    /// spans (a constant-memory post-mortem tail for long horizons).
+    #[must_use]
+    pub fn with_trace_cap(mut self, cap: usize) -> Self {
+        self.record_trace = true;
+        self.trace_cap = Some(cap);
         self
     }
 
@@ -761,7 +778,7 @@ struct Tenant {
     sampler: ArrivalSampler,
 }
 
-struct Engine<'a, Q> {
+struct Engine<'a, Q, P> {
     workloads: &'a [WorkloadView<'a>],
     cfg: SimConfig,
     queue: Q,
@@ -775,13 +792,21 @@ struct Engine<'a, Q> {
     timings: Vec<StageTiming>,
     /// Device-chain length; the stride of `timings`.
     chain: usize,
-    trace: Vec<TraceSpan>,
+    trace: SpanLog,
     events: u64,
     now: f64,
+    /// Monomorphized observer; every call site is guarded by
+    /// `P::ENABLED`, so [`NullProbe`] leaves the hot path untouched.
+    probe: &'a mut P,
 }
 
-impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
-    fn new(workloads: &'a [WorkloadView<'a>], spec: &DeviceSpec, cfg: SimConfig) -> Self {
+impl<'a, Q: EventQueue<EventKind>, P: Probe> Engine<'a, Q, P> {
+    fn new(
+        workloads: &'a [WorkloadView<'a>],
+        spec: &DeviceSpec,
+        cfg: SimConfig,
+        probe: &'a mut P,
+    ) -> Self {
         let chain = workloads
             .iter()
             .map(WorkloadView::stages)
@@ -830,9 +855,13 @@ impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
             tenants,
             timings,
             chain,
-            trace: Vec::new(),
+            trace: match cfg.trace_cap {
+                Some(cap) => SpanLog::bounded(cap),
+                None => SpanLog::unbounded(),
+            },
             events: 0,
             now: 0.0,
+            probe,
         }
     }
 
@@ -853,6 +882,16 @@ impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
             self.events += 1;
             match kind {
                 EventKind::Arrive { w, r } => {
+                    if P::ENABLED {
+                        self.probe.record(
+                            t,
+                            &ProbeEvent::Arrival {
+                                chain: 0,
+                                tenant: w,
+                                request: r,
+                            },
+                        );
+                    }
                     let (w, r) = (w as usize, r as usize);
                     let tenant = &mut self.tenants[w];
                     if r == 0 {
@@ -903,7 +942,7 @@ impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
                     );
                 }
                 EventKind::BusDone { w, r, k, phase } => {
-                    self.release_bus(t);
+                    self.release_bus(w as usize, r as usize, k as usize, t);
                     self.after_bus_phase(w as usize, r as usize, k as usize, phase, t);
                 }
             }
@@ -923,6 +962,18 @@ impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
         self.devices[k].busy = true;
         if self.cfg.record_trace {
             self.devices[k].open = Some((w, r, k, t));
+        }
+        if P::ENABLED {
+            self.probe.record(
+                t,
+                &ProbeEvent::Acquire {
+                    chain: 0,
+                    resource: ResourceId::Device(k),
+                    tenant: w as u32,
+                    request: r as u32,
+                    stage: k as u16,
+                },
+            );
         }
         let timing = self.timings[w * self.chain + k];
         let (ew, er, ek) = (w as u32, r as u32, k as u16);
@@ -965,6 +1016,18 @@ impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
         if self.cfg.record_trace {
             self.bus.open = Some((req.w, req.r, req.k, t));
         }
+        if P::ENABLED {
+            self.probe.record(
+                t,
+                &ProbeEvent::Acquire {
+                    chain: 0,
+                    resource: ResourceId::Bus,
+                    tenant: req.w as u32,
+                    request: req.r as u32,
+                    stage: req.k as u16,
+                },
+            );
+        }
         self.push(
             t + req.duration,
             EventKind::BusDone {
@@ -976,17 +1039,29 @@ impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
         );
     }
 
-    fn release_bus(&mut self, t: f64) {
+    fn release_bus(&mut self, w: usize, r: usize, k: usize, t: f64) {
         self.bus.busy = false;
-        if let Some((w, r, k, start)) = self.bus.open.take() {
+        if let Some((tw, tr, tk, start)) = self.bus.open.take() {
             self.trace.push(TraceSpan {
                 resource: ResourceId::Bus,
-                tenant: w,
-                request: r,
-                stage: k,
+                tenant: tw,
+                request: tr,
+                stage: tk,
                 start_s: start,
                 end_s: t,
             });
+        }
+        if P::ENABLED {
+            self.probe.record(
+                t,
+                &ProbeEvent::Release {
+                    chain: 0,
+                    resource: ResourceId::Bus,
+                    tenant: w as u32,
+                    request: r as u32,
+                    stage: k as u16,
+                },
+            );
         }
         if let Some(next) = self.bus.queue.pop_front() {
             self.grant_bus(next, t);
@@ -1035,6 +1110,18 @@ impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
                 end_s: t,
             });
         }
+        if P::ENABLED {
+            self.probe.record(
+                t,
+                &ProbeEvent::Release {
+                    chain: 0,
+                    resource: ResourceId::Device(k),
+                    tenant: w as u32,
+                    request: r as u32,
+                    stage: k as u16,
+                },
+            );
+        }
         if let Some((nw, nr)) = self.devices[k].queue.pop_front() {
             self.seize_device(nw, nr, k, t);
         }
@@ -1069,6 +1156,17 @@ impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
             let lat = t - arrival;
             tenant.lat_sum += lat;
             tenant.lat_max = tenant.lat_max.max(lat);
+        }
+        if P::ENABLED {
+            self.probe.record(
+                t,
+                &ProbeEvent::Completion {
+                    chain: 0,
+                    tenant: w as u32,
+                    request: r as u32,
+                    latency_s: t - arrival,
+                },
+            );
         }
         tenant.last_completion_s = t;
         tenant.done += 1;
@@ -1115,7 +1213,7 @@ impl<'a, Q: EventQueue<EventKind>> Engine<'a, Q> {
             makespan_s: self.now,
             bus_busy_s: self.bus.busy_s,
             events: self.events,
-            trace: self.trace,
+            trace: self.trace.into_vec(),
         }
     }
 }
@@ -1135,8 +1233,26 @@ pub fn run(
     spec: &DeviceSpec,
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
+    run_probed(workloads, spec, cfg, &mut NullProbe)
+}
+
+/// [`run`] with an attached [`Probe`] observing arrivals, device/bus
+/// acquire/release pairs, and completions (see [`crate::probe`]).
+///
+/// `run_probed(.., &mut NullProbe)` is [`run`] — the instrumentation
+/// compiles away and the report is bitwise-identical.
+///
+/// # Errors
+///
+/// Exactly the [`SimError`] conditions of [`run`].
+pub fn run_probed<P: Probe>(
+    workloads: &[Workload],
+    spec: &DeviceSpec,
+    cfg: &SimConfig,
+    probe: &mut P,
+) -> Result<SimReport, SimError> {
     let views: Vec<WorkloadView<'_>> = workloads.iter().map(WorkloadView::of).collect();
-    run_views(&views, spec, cfg)
+    run_views(&views, spec, cfg, probe)
 }
 
 /// Clone-free entry point for single-tenant closed-loop streams (the
@@ -1157,13 +1273,15 @@ pub(crate) fn run_closed_loop(
         }],
         spec,
         cfg,
+        &mut NullProbe,
     )
 }
 
-fn run_views(
+fn run_views<P: Probe>(
     workloads: &[WorkloadView<'_>],
     spec: &DeviceSpec,
     cfg: &SimConfig,
+    probe: &mut P,
 ) -> Result<SimReport, SimError> {
     if workloads.is_empty() {
         return Err(SimError::NoWorkloads);
@@ -1188,9 +1306,11 @@ fn run_views(
     }
     Ok(match cfg.queue {
         QueueKind::BinaryHeap => {
-            Engine::<BinaryHeapQueue<EventKind>>::new(workloads, spec, *cfg).run()
+            Engine::<BinaryHeapQueue<EventKind>, P>::new(workloads, spec, *cfg, probe).run()
         }
-        QueueKind::Calendar => Engine::<CalendarQueue<EventKind>>::new(workloads, spec, *cfg).run(),
+        QueueKind::Calendar => {
+            Engine::<CalendarQueue<EventKind>, P>::new(workloads, spec, *cfg, probe).run()
+        }
     })
 }
 
@@ -1357,6 +1477,65 @@ mod tests {
         for s in &r.trace {
             assert!(s.end_s >= s.start_s);
         }
+    }
+
+    #[test]
+    fn trace_cap_keeps_the_chronological_tail() {
+        let (p, spec) = pipeline(3);
+        let wl = Workload::closed_loop(p, 20);
+        let full = run(
+            std::slice::from_ref(&wl),
+            &spec,
+            &SimConfig::contended().with_trace(),
+        )
+        .unwrap();
+        let capped = run(&[wl], &spec, &SimConfig::contended().with_trace_cap(10)).unwrap();
+        assert_eq!(capped.trace.len(), 10);
+        assert_eq!(
+            capped.trace,
+            full.trace[full.trace.len() - 10..],
+            "ring mode keeps the newest spans, oldest first"
+        );
+        assert_eq!(
+            capped.tenants, full.tenants,
+            "the cap never affects results"
+        );
+    }
+
+    #[test]
+    fn probed_run_matches_unprobed_and_balances_holds() {
+        #[derive(Default)]
+        struct Counts {
+            arrivals: u64,
+            acquires: u64,
+            releases: u64,
+            completions: u64,
+        }
+        impl Probe for Counts {
+            fn record(&mut self, _t: f64, ev: &ProbeEvent) {
+                match ev {
+                    ProbeEvent::Arrival { .. } => self.arrivals += 1,
+                    ProbeEvent::Acquire { .. } => self.acquires += 1,
+                    ProbeEvent::Release { .. } => self.releases += 1,
+                    ProbeEvent::Completion { .. } => self.completions += 1,
+                    _ => {}
+                }
+            }
+        }
+        let (p, spec) = pipeline(3);
+        let wl = Workload::new(p, 40).with_arrivals(Arrivals::Poisson {
+            rate: 500.0,
+            seed: 2,
+        });
+        let cfg = SimConfig::contended();
+        let plain = run(std::slice::from_ref(&wl), &spec, &cfg).unwrap();
+        let mut probe = Counts::default();
+        let probed = run_probed(&[wl], &spec, &cfg, &mut probe).unwrap();
+        assert_eq!(plain, probed, "an attached probe never changes the run");
+        assert_eq!(probe.arrivals, 40);
+        assert_eq!(probe.completions, 40);
+        assert_eq!(probe.acquires, probe.releases, "every hold is released");
+        assert!(probe.acquires >= 40 * 3, "a device hold per request-stage");
     }
 
     #[test]

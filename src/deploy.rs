@@ -39,12 +39,21 @@
 //! | [`Deployment::simulate_workloads`] | `sim::run(..)` |
 //! | [`Deployment::serve`] | `serve::serve(..)` |
 //! | [`Deployment::serve_fleet`] | `serve::fleet::serve_fleet(..)` |
+//!
+//! Every runtime entry point also has a `_probed` twin
+//! ([`Deployment::simulate_workloads_probed`], [`Deployment::serve_probed`],
+//! [`Deployment::serve_fleet_probed`]) threading a
+//! [`respect_tpu::probe::Probe`] through the engine, and
+//! [`Deployment::serve_with_metrics`] / [`Deployment::serve_fleet_with_metrics`]
+//! bundle a [`respect_obs::MetricsRecorder`] for the common
+//! "run it and give me the numbers" case.
 
 use std::sync::OnceLock;
 use std::time::Duration;
 
 use respect_core::{train_policy, PtrNetPolicy, RespectScheduler, TrainConfig};
 use respect_graph::Dag;
+use respect_obs::{MetricsRecorder, MetricsSnapshot};
 use respect_sched::registry::{BuildOptions, Registry};
 use respect_sched::{CostModel, Schedule, Scheduler};
 use respect_serve::{
@@ -53,6 +62,7 @@ use respect_serve::{
 };
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::exec::InferenceReport;
+use respect_tpu::probe::Probe;
 use respect_tpu::profiling::ProfilingPartitioner;
 use respect_tpu::sim::{self, SimConfig, SimReport, Workload};
 use respect_tpu::{compile, exec, CompiledPipeline};
@@ -373,6 +383,22 @@ impl Deployment {
         Ok(sim::run(workloads, &self.spec, cfg)?)
     }
 
+    /// [`Deployment::simulate_workloads`] with a [`Probe`] observing
+    /// the event stream. With `NullProbe` this is bitwise
+    /// [`Deployment::simulate_workloads`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Deployment::simulate_workloads`].
+    pub fn simulate_workloads_probed<P: Probe>(
+        &self,
+        workloads: &[Workload],
+        cfg: &SimConfig,
+        probe: &mut P,
+    ) -> Result<SimReport, Error> {
+        Ok(sim::run_probed(workloads, &self.spec, cfg, probe)?)
+    }
+
     /// A [`ServeTenant`] of `requests` requests over this deployment's
     /// pipeline, for policy composition (`with_batcher`,
     /// `with_admission`, ...) before [`Deployment::serve`].
@@ -394,6 +420,37 @@ impl Deployment {
     /// [`Error::Serve`] for degenerate tenants; see [`serve_rt::serve`].
     pub fn serve(&self, tenants: &[ServeTenant], cfg: &ServeConfig) -> Result<ServeReport, Error> {
         Ok(serve_rt::serve(tenants, &self.spec, cfg)?)
+    }
+
+    /// [`Deployment::serve`] with a [`Probe`] observing the event
+    /// stream. With `NullProbe` this is bitwise [`Deployment::serve`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Deployment::serve`].
+    pub fn serve_probed<P: Probe>(
+        &self,
+        tenants: &[ServeTenant],
+        cfg: &ServeConfig,
+        probe: &mut P,
+    ) -> Result<ServeReport, Error> {
+        Ok(serve_rt::serve_probed(tenants, &self.spec, cfg, probe)?)
+    }
+
+    /// [`Deployment::serve`] with a [`MetricsRecorder`] attached,
+    /// returning the report together with the frozen metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`Deployment::serve`].
+    pub fn serve_with_metrics(
+        &self,
+        tenants: &[ServeTenant],
+        cfg: &ServeConfig,
+    ) -> Result<(ServeReport, MetricsSnapshot), Error> {
+        let mut metrics = MetricsRecorder::new();
+        let report = serve_rt::serve_probed(tenants, &self.spec, cfg, &mut metrics)?;
+        Ok((report, metrics.snapshot()))
     }
 
     /// The fleet configuration assembled from the builder's
@@ -418,6 +475,36 @@ impl Deployment {
         Ok(serve_rt::serve_fleet(tenants, &self.fleet)?)
     }
 
+    /// [`Deployment::serve_fleet`] with a [`Probe`] observing the event
+    /// stream (router decisions and autoscale steps included). With
+    /// `NullProbe` this is bitwise [`Deployment::serve_fleet`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Deployment::serve_fleet`].
+    pub fn serve_fleet_probed<P: Probe>(
+        &self,
+        tenants: &[ServeTenant],
+        probe: &mut P,
+    ) -> Result<FleetReport, Error> {
+        Ok(serve_rt::serve_fleet_probed(tenants, &self.fleet, probe)?)
+    }
+
+    /// [`Deployment::serve_fleet`] with a [`MetricsRecorder`] attached,
+    /// returning the report together with the frozen metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`Deployment::serve_fleet`].
+    pub fn serve_fleet_with_metrics(
+        &self,
+        tenants: &[ServeTenant],
+    ) -> Result<(FleetReport, MetricsSnapshot), Error> {
+        let mut metrics = MetricsRecorder::new();
+        let report = serve_rt::serve_fleet_probed(tenants, &self.fleet, &mut metrics)?;
+        Ok((report, metrics.snapshot()))
+    }
+
     /// Runs the fleet serving runtime for `tenants` under an explicit
     /// `cfg`, bypassing the builder hooks. Identical to
     /// [`serve_rt::serve_fleet`].
@@ -432,5 +519,20 @@ impl Deployment {
         cfg: &FleetConfig,
     ) -> Result<FleetReport, Error> {
         Ok(serve_rt::serve_fleet(tenants, cfg)?)
+    }
+
+    /// [`Deployment::serve_fleet_with`] with a [`Probe`] observing the
+    /// event stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Deployment::serve_fleet_with`].
+    pub fn serve_fleet_with_probed<P: Probe>(
+        &self,
+        tenants: &[ServeTenant],
+        cfg: &FleetConfig,
+        probe: &mut P,
+    ) -> Result<FleetReport, Error> {
+        Ok(serve_rt::serve_fleet_probed(tenants, cfg, probe)?)
     }
 }

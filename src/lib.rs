@@ -16,6 +16,8 @@
 //! * [`tpu`] — pipelined Coral Edge TPU system simulator and compiler.
 //! * [`serve`] — SLO-aware online serving runtime (dynamic batching,
 //!   admission control, live re-partitioning) over the simulator.
+//! * [`obs`] — recorders for the zero-cost probe layer: deterministic
+//!   metrics, Chrome-trace export, bounded flight recorder.
 //! * [`core`] — the paper's contribution: the RL scheduling framework.
 //!
 //! ## Quickstart
@@ -75,6 +77,7 @@ pub use error::Error;
 pub use respect_core as core;
 pub use respect_graph as graph;
 pub use respect_nn as nn;
+pub use respect_obs as obs;
 pub use respect_sched as sched;
 pub use respect_serve as serve;
 pub use respect_tpu as tpu;
