@@ -1,0 +1,87 @@
+//! `respect-dbg` — the interactive trace debugger over `.scn` runs.
+//!
+//! ```text
+//! cargo run --release -p respect_bench --bin respect-dbg -- tests/scn/serve/queue_bound_sheds.scn
+//! cargo run --release -p respect_bench --bin respect-dbg -- --script cmds.dbg scenario.scn
+//! ```
+//!
+//! Without `--script`, a live REPL: the run stops before the first
+//! event; set breakpoints (`break shed and tenant == 0`), `step`,
+//! `inspect`, `continue` — type `help` for the full command and
+//! predicate languages. With `--script <file>`, commands come from the
+//! file and the session transcript is printed to stdout byte-for-byte —
+//! the same scenario, seed, and script always produce identical output,
+//! which is how CI golden-tests debugger behavior.
+//!
+//! Exits nonzero on usage errors, unreadable files, scenario parse
+//! errors, or engine errors; a run whose assertions fail still exits
+//! zero (the debugger reports, it does not judge).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use respect_dbg::session::{DebugSession, ScriptSource, StdinSource};
+
+const USAGE: &str = "usage: respect-dbg [--script <cmds.dbg>] <scenario.scn>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario_path: Option<PathBuf> = None;
+    let mut script_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--script" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => script_path = Some(PathBuf::from(v)),
+                    None => return fail("--script needs a file"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            a if a.starts_with("--") => return fail(&format!("unknown flag `{a}`")),
+            a => {
+                if scenario_path.replace(PathBuf::from(a)).is_some() {
+                    return fail("give exactly one <scenario.scn>");
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(scenario_path) = scenario_path else {
+        return fail("missing <scenario.scn>");
+    };
+    let src = match std::fs::read_to_string(&scenario_path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("{}: {e}", scenario_path.display())),
+    };
+    let scenario = match respect_scn::parse(&src) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("{}:{e}", scenario_path.display())),
+    };
+    let outcome = match script_path {
+        Some(path) => {
+            let script = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("{}: {e}", path.display())),
+            };
+            DebugSession::new(ScriptSource::new(&script))
+                .echo(true)
+                .run(&scenario)
+        }
+        None => DebugSession::new(StdinSource::new()).run(&scenario),
+    };
+    match outcome {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => fail(&format!("{}:{e}", scenario_path.display())),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("respect-dbg: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}

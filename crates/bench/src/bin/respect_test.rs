@@ -13,25 +13,32 @@
 //! nonzero when any assertion fails or any file errors. `--quick`
 //! skips scenarios tagged `slow`; `--filter <substr>` runs only
 //! matching paths; `--list` prints the discovered files and their
-//! scenario names without running anything.
+//! scenario names without running anything. `--debug` drops into a
+//! `respect-dbg` REPL on the first failing scenario (when stdin is a
+//! terminal; otherwise it prints the command to launch one).
 
+use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use respect_dbg::session::{DebugSession, StdinSource};
 use respect_scn::{discover, run_suite, FileOutcome, RunnerOptions};
 
-const USAGE: &str = "usage: respect-test <dir|file.scn> [--filter <substr>] [--list] [--quick]";
+const USAGE: &str =
+    "usage: respect-test <dir|file.scn> [--filter <substr>] [--list] [--quick] [--debug]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut opts = RunnerOptions::default();
     let mut list = false;
+    let mut debug = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => opts.quick = true,
             "--list" => list = true,
+            "--debug" => debug = true,
             "--filter" => {
                 i += 1;
                 match args.get(i) {
@@ -61,7 +68,33 @@ fn main() -> ExitCode {
     if list {
         return list_files(&root);
     }
-    run(&root, &opts)
+    run(&root, &opts, debug)
+}
+
+/// The first failing scenario, re-run under the debugger — a live
+/// session when stdin is a terminal, else a launch hint, so `--debug`
+/// is safe in CI pipelines too.
+fn debug_first_failure(path: &Path) {
+    if !std::io::stdin().is_terminal() {
+        println!("re-run the failure under the debugger:");
+        println!(
+            "  cargo run --release -p respect_bench --bin respect-dbg -- {}",
+            path.display()
+        );
+        return;
+    }
+    println!("dropping into respect-dbg on {}", path.display());
+    let scenario = std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|src| respect_scn::parse(&src).map_err(|e| e.to_string()));
+    match scenario {
+        Ok(s) => {
+            if let Err(e) = DebugSession::new(StdinSource::new()).run(&s) {
+                eprintln!("respect-dbg: {}:{e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("respect-dbg: {}: {e}", path.display()),
+    }
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -89,7 +122,7 @@ fn list_files(root: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run(root: &Path, opts: &RunnerOptions) -> ExitCode {
+fn run(root: &Path, opts: &RunnerOptions, debug: bool) -> ExitCode {
     let suite = match run_suite(root, opts) {
         Ok(s) => s,
         Err(e) => return fail(&format!("{}: {e}", root.display())),
@@ -130,6 +163,15 @@ fn run(root: &Path, opts: &RunnerOptions) -> ExitCode {
     if suite.passed() {
         ExitCode::SUCCESS
     } else {
+        if debug {
+            if let Some(file) = suite
+                .files
+                .iter()
+                .find(|f| matches!(f.outcome, FileOutcome::Failed { .. }))
+            {
+                debug_first_failure(&file.path);
+            }
+        }
         ExitCode::FAILURE
     }
 }

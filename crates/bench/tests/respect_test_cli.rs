@@ -61,7 +61,7 @@ fn failing_fixture_exits_nonzero_with_actual_vs_expected() {
         "the metrics snapshot must be dumped:\n{stdout}"
     );
     assert!(
-        stdout.contains("flight recorder:") && stdout.contains("Completion"),
+        stdout.contains("flight recorder:") && stdout.contains("completion"),
         "the flight-recorder tail must be dumped:\n{stdout}"
     );
 }

@@ -1,0 +1,620 @@
+//! The debugging session: a [`Probe`] with a command loop inside.
+//!
+//! [`DebugSession`] observes every [`ProbeEvent`] an engine emits. When
+//! a breakpoint predicate matches (or a `step` / `next` countdown
+//! expires) it asks the engine to suspend — the engine polls
+//! [`Probe::wants_inspect`] at each safe point (after every dispatched
+//! DES event, compiled away for ordinary probes) and hands the session
+//! a read-only [`EngineSnapshot`]. The session then reads commands from
+//! its [`CommandSource`] until one resumes the run.
+//!
+//! The session is an observer only: a run driven under the debugger
+//! returns a [`ScenarioRun`] bitwise-identical to the undebugged
+//! `Scenario::execute()` (pinned in this crate's tests). Everything the
+//! session prints goes to an in-memory transcript; with the same
+//! scenario, seed, and script, the transcript is byte-identical across
+//! runs and machines — which is what makes scripted sessions
+//! golden-testable in CI.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, Write as _};
+
+use respect_obs::render::render_line;
+use respect_obs::{FlightRecorder, MetricsRecorder};
+use respect_scn::{RunOutput, Scenario, ScenarioRun, ScnError};
+use respect_tpu::probe::{EngineSnapshot, Probe, ProbeEvent};
+
+use crate::cmd::{parse_command, Command, HELP};
+use crate::pred::{ev_chain, ev_tenant, event_bit, CompiledPred, EvalCx};
+
+/// Where commands come from: a script or an interactive prompt.
+pub trait CommandSource {
+    /// The next command line and its 1-based line number, or `None` at
+    /// end of input.
+    fn next_command(&mut self) -> Option<(usize, String)>;
+
+    /// `true` for a live prompt (prompts are printed, commands are not
+    /// re-echoed to stdout).
+    fn is_interactive(&self) -> bool {
+        false
+    }
+}
+
+/// A fixed command script (one command per line; blank lines and `#`
+/// comments are skipped, line numbers count the original lines).
+#[derive(Debug, Clone)]
+pub struct ScriptSource {
+    lines: Vec<(usize, String)>,
+    idx: usize,
+}
+
+impl ScriptSource {
+    /// A source over `src`'s lines.
+    #[must_use]
+    pub fn new(src: &str) -> Self {
+        let lines = src
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('#')
+            })
+            .map(|(i, l)| (i + 1, l.to_string()))
+            .collect();
+        ScriptSource { lines, idx: 0 }
+    }
+}
+
+impl CommandSource for ScriptSource {
+    fn next_command(&mut self) -> Option<(usize, String)> {
+        let item = self.lines.get(self.idx).cloned();
+        if item.is_some() {
+            self.idx += 1;
+        }
+        item
+    }
+}
+
+/// A live prompt reading commands from stdin.
+#[derive(Debug, Default)]
+pub struct StdinSource {
+    line_no: usize,
+}
+
+impl StdinSource {
+    /// A fresh stdin source.
+    #[must_use]
+    pub fn new() -> Self {
+        StdinSource::default()
+    }
+}
+
+impl CommandSource for StdinSource {
+    fn next_command(&mut self) -> Option<(usize, String)> {
+        let mut line = String::new();
+        match std::io::stdin().lock().read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => {
+                self.line_no += 1;
+                Some((
+                    self.line_no,
+                    line.trim_end_matches(['\n', '\r']).to_string(),
+                ))
+            }
+        }
+    }
+
+    fn is_interactive(&self) -> bool {
+        true
+    }
+}
+
+/// What the session is doing between safe points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run until a breakpoint fires.
+    Run,
+    /// Stop after this many more probe events.
+    Step(u64),
+    /// Stop at the next event whose kind is in the mask.
+    Next(u32),
+    /// Run to completion; watches and breakpoints still report, but
+    /// nothing stops.
+    Finish,
+    /// Run to completion silently (`quit`).
+    Quit,
+}
+
+/// One breakpoint or watch.
+#[derive(Debug, Clone)]
+struct Entry {
+    id: u32,
+    watch: bool,
+    pred: CompiledPred,
+    counters: Vec<u64>,
+    hits: u64,
+    deleted: bool,
+}
+
+/// Tracks per-(chain, tenant) open-batch occupancy and per-chain
+/// in-system backlog (arrived − shed − completed) from the event
+/// stream, so `queue` / `backlog` predicates have values without
+/// engine cooperation.
+#[derive(Debug, Default)]
+struct Shadow {
+    open: std::collections::BTreeMap<(u16, u32), u32>,
+    backlog: std::collections::BTreeMap<u16, i64>,
+}
+
+impl Shadow {
+    fn apply(&mut self, ev: &ProbeEvent) {
+        match *ev {
+            ProbeEvent::Arrival { chain, .. } => {
+                *self.backlog.entry(chain).or_insert(0) += 1;
+            }
+            ProbeEvent::Admit { chain, tenant, .. } => {
+                *self.open.entry((chain, tenant)).or_insert(0) += 1;
+            }
+            ProbeEvent::BatchClose {
+                chain,
+                tenant,
+                size,
+            } => {
+                let q = self.open.entry((chain, tenant)).or_insert(0);
+                *q = q.saturating_sub(size);
+            }
+            ProbeEvent::Shed { chain, .. } | ProbeEvent::Completion { chain, .. } => {
+                *self.backlog.entry(chain).or_insert(0) -= 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn queue(&self, ev: &ProbeEvent) -> Option<f64> {
+        let (c, w) = (ev_chain(ev)?, ev_tenant(ev)?);
+        Some(f64::from(self.open.get(&(c, w)).copied().unwrap_or(0)))
+    }
+
+    fn backlog(&self, ev: &ProbeEvent) -> Option<f64> {
+        let c = ev_chain(ev)?;
+        Some(self.backlog.get(&c).copied().unwrap_or(0) as f64)
+    }
+}
+
+/// Renders an [`EngineSnapshot`] as the `inspect` command's
+/// multi-line, deterministic text form.
+fn render_snapshot(s: &EngineSnapshot) -> String {
+    let mut out = format!(
+        "state: {} t={:.9} events={} chains={}/{}",
+        s.kind.name(),
+        s.now_s,
+        s.events,
+        s.active_chains,
+        s.chains.len()
+    );
+    for ch in &s.chains {
+        let power = if ch.powered { "on" } else { "off" };
+        let _ = write!(
+            out,
+            "\n  chain {} [{power}] backlog={} drain={:.9}s busy={:.9}s",
+            ch.chain, ch.backlog, ch.drain_estimate_s, ch.busy_s
+        );
+        let mut parts: Vec<String> = ch
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(k, d)| {
+                format!(
+                    "dev{k} {} q={}",
+                    if d.busy { "busy" } else { "idle" },
+                    d.queued
+                )
+            })
+            .collect();
+        if let Some(b) = &ch.bus {
+            parts.push(format!(
+                "bus {} q={} busy_s={:.9}",
+                if b.busy { "busy" } else { "idle" },
+                b.queued,
+                b.busy_s
+            ));
+        }
+        if !parts.is_empty() {
+            let _ = write!(out, "\n    {}", parts.join(" | "));
+        }
+        for t in &ch.tenants {
+            let open: Vec<String> = t.open_batch.iter().map(u32::to_string).collect();
+            let _ = write!(
+                out,
+                "\n    tenant {}: admitted={} completed={} waiting={} inflight={} open=[{}] swaps={} drift_jobs={}",
+                t.tenant,
+                t.admitted,
+                t.completed,
+                t.waiting,
+                t.in_flight_jobs,
+                open.join(","),
+                t.swaps,
+                t.drift_window_jobs
+            );
+        }
+    }
+    out
+}
+
+/// The result of a debugged run: the (bitwise-unperturbed) scenario
+/// report plus the session transcript.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DebugOutcome {
+    /// The report — identical to an undebugged `Scenario::execute()`.
+    pub run: ScenarioRun,
+    /// Everything the session printed, newline-terminated lines.
+    pub transcript: String,
+}
+
+/// A deterministic, steppable debugging session over one scenario run.
+///
+/// See the [crate docs](crate) for the command and predicate languages.
+#[derive(Debug)]
+pub struct DebugSession<S> {
+    source: S,
+    interactive: bool,
+    echo: bool,
+    transcript: String,
+    entries: Vec<Entry>,
+    next_id: u32,
+    mode: Mode,
+    /// Stop-announcement lines accumulated since the last safe point.
+    pending: Vec<String>,
+    stops: u64,
+    eof: bool,
+    finished: bool,
+    metrics: MetricsRecorder,
+    flight: FlightRecorder,
+    shadow: Shadow,
+}
+
+impl<S: CommandSource> DebugSession<S> {
+    /// A session reading commands from `source`. Interactive sources
+    /// echo the transcript to stdout as it grows.
+    #[must_use]
+    pub fn new(source: S) -> Self {
+        let interactive = source.is_interactive();
+        DebugSession {
+            source,
+            interactive,
+            echo: interactive,
+            transcript: String::new(),
+            entries: Vec::new(),
+            next_id: 1,
+            mode: Mode::Run,
+            pending: Vec::new(),
+            stops: 0,
+            eof: false,
+            finished: false,
+            metrics: MetricsRecorder::new(),
+            flight: FlightRecorder::new(512),
+            shadow: Shadow::default(),
+        }
+    }
+
+    /// Mirrors every transcript line to stdout as it is emitted
+    /// (default: only for interactive sources).
+    #[must_use]
+    pub fn echo(mut self, on: bool) -> Self {
+        self.echo = on;
+        self
+    }
+
+    /// Appends one line to the transcript (and stdout when echoing).
+    fn emit(&mut self, line: &str) {
+        self.transcript.push_str(line);
+        self.transcript.push('\n');
+        if self.echo {
+            println!("{line}");
+        }
+    }
+
+    /// Records a command in the transcript. Interactive commands were
+    /// already typed on screen, so they are not re-echoed.
+    fn emit_cmd(&mut self, text: &str) {
+        let line = format!("(dbg) {}", text.trim());
+        self.transcript.push_str(&line);
+        self.transcript.push('\n');
+        if self.echo && !self.interactive {
+            println!("{line}");
+        }
+    }
+
+    /// Runs `scenario` under this session and returns the report plus
+    /// the transcript. The session stops before the first event so
+    /// breakpoints can be set, then obeys its command source.
+    ///
+    /// # Errors
+    ///
+    /// [`ScnError`] exactly when `scenario.execute()` would fail — bad
+    /// commands never abort the run (they are reported in-transcript).
+    pub fn run(mut self, scenario: &Scenario) -> Result<DebugOutcome, ScnError> {
+        let name = scenario.name.as_deref().unwrap_or("(unnamed)");
+        self.emit(&format!(
+            "respect-dbg: {name} (run {})",
+            scenario.run.engine.keyword()
+        ));
+        self.emit("-- stopped before the first event");
+        self.command_loop(None);
+        let run = scenario.execute_probed(&mut self)?;
+        self.finished = true;
+        if self.mode != Mode::Quit {
+            let (makespan, events) = match &run.output {
+                RunOutput::Sim(r) => (r.makespan_s, r.events),
+                RunOutput::Serve(r) => (r.makespan_s, r.events),
+                RunOutput::Fleet(r) => (r.makespan_s, r.events),
+            };
+            self.emit(&format!(
+                "-- run complete: makespan={makespan:.9}s events={events} stops={}",
+                self.stops
+            ));
+            for a in &run.assertions {
+                let verdict = if a.passed { "ok  " } else { "FAIL" };
+                self.emit(&format!("{verdict} {} ({})", a.text, a.detail));
+            }
+            self.command_loop(None);
+        }
+        Ok(DebugOutcome {
+            run,
+            transcript: self.transcript,
+        })
+    }
+
+    /// Reads and executes commands until one resumes the run (or input
+    /// runs dry). `snap` is the engine state at this safe point (`None`
+    /// before the run starts and after it completes).
+    fn command_loop(&mut self, snap: Option<&EngineSnapshot>) {
+        if self.eof || self.mode == Mode::Quit {
+            return;
+        }
+        loop {
+            if self.interactive {
+                print!("(dbg) ");
+                let _ = std::io::stdout().flush();
+            }
+            let Some((line_no, text)) = self.source.next_command() else {
+                self.eof = true;
+                if !self.finished {
+                    self.emit("-- end of commands: continuing to completion");
+                    self.mode = Mode::Finish;
+                }
+                return;
+            };
+            self.emit_cmd(&text);
+            let cmd = match parse_command(line_no, &text) {
+                Ok(None) => continue,
+                Ok(Some(cmd)) => cmd,
+                Err(e) => {
+                    self.emit(&format!("error: {e}"));
+                    continue;
+                }
+            };
+            match cmd {
+                Command::Step(n) => {
+                    if self.resume(Mode::Step(n)) {
+                        return;
+                    }
+                }
+                Command::Next { mask, name: _ } => {
+                    if self.resume(Mode::Next(mask)) {
+                        return;
+                    }
+                }
+                Command::Continue => {
+                    if self.resume(Mode::Run) {
+                        return;
+                    }
+                }
+                Command::Quit => {
+                    self.mode = Mode::Quit;
+                    return;
+                }
+                Command::Break(pred) => self.add_entry(pred, false),
+                Command::Watch(pred) => self.add_entry(pred, true),
+                Command::Delete(id) => {
+                    match self.entries.iter_mut().find(|e| e.id == id && !e.deleted) {
+                        Some(e) => {
+                            e.deleted = true;
+                            self.emit(&format!("deleted #{id}"));
+                        }
+                        None => self.emit(&format!("error: no breakpoint #{id}")),
+                    }
+                }
+                Command::List => self.cmd_list(),
+                Command::Inspect => self.cmd_inspect(snap),
+                Command::Trace(n) => self.cmd_trace(n),
+                Command::Metrics => self.cmd_metrics(),
+                Command::Dump(path) => self.cmd_dump(&path),
+                Command::Help => self.emit(HELP),
+            }
+        }
+    }
+
+    /// Applies a resume command; `true` when the loop should yield back
+    /// to the engine (no-op with a note once the run is over).
+    fn resume(&mut self, mode: Mode) -> bool {
+        if self.finished {
+            self.emit("run already complete");
+            false
+        } else {
+            self.mode = mode;
+            true
+        }
+    }
+
+    fn add_entry(&mut self, pred: CompiledPred, watch: bool) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let label = if watch { "watch" } else { "breakpoint" };
+        self.emit(&format!("{label} #{id}: {pred}"));
+        self.entries.push(Entry {
+            id,
+            watch,
+            counters: vec![0; pred.counters()],
+            pred,
+            hits: 0,
+            deleted: false,
+        });
+    }
+
+    fn cmd_list(&mut self) {
+        let live: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|e| !e.deleted)
+            .map(|e| {
+                let label = if e.watch { "watch" } else { "break" };
+                format!(
+                    "  #{} {label} {} ({} hit{})",
+                    e.id,
+                    e.pred,
+                    e.hits,
+                    if e.hits == 1 { "" } else { "s" }
+                )
+            })
+            .collect();
+        if live.is_empty() {
+            self.emit("no breakpoints");
+        } else {
+            self.emit("breakpoints:");
+            for l in live {
+                self.emit(&l);
+            }
+        }
+    }
+
+    fn cmd_inspect(&mut self, snap: Option<&EngineSnapshot>) {
+        match snap {
+            Some(s) => {
+                let mut text = render_snapshot(s);
+                let h = self.metrics.histogram();
+                if h.count() > 0 {
+                    let _ = write!(
+                        text,
+                        "\nlatency so far: n={} p50={:.9} p95={:.9} p99={:.9}",
+                        h.count(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99()
+                    );
+                }
+                for line in text.lines() {
+                    self.emit(line);
+                }
+            }
+            None if self.finished => self.emit("no live engine state (run complete)"),
+            None => self.emit("no live engine state (run not started; `step` first)"),
+        }
+    }
+
+    fn cmd_trace(&mut self, n: u64) {
+        let total = self.flight.next_index();
+        if total == 0 {
+            self.emit("trace: no events yet");
+            return;
+        }
+        let (first, events) = self.flight.events_since(total.saturating_sub(n));
+        self.emit(&format!(
+            "trace: events {first}..{} of {total}",
+            first + events.len() as u64
+        ));
+        for (t, ev) in &events {
+            self.emit(&format!("  {}", render_line(*t, ev)));
+        }
+    }
+
+    fn cmd_metrics(&mut self) {
+        let tsv = self.metrics.snapshot().to_tsv();
+        if tsv.is_empty() {
+            self.emit("metrics: none yet");
+            return;
+        }
+        self.emit("metrics:");
+        for line in tsv.lines() {
+            self.emit(&format!("  {line}"));
+        }
+    }
+
+    fn cmd_dump(&mut self, path: &str) {
+        let mut text = self.flight.dump();
+        text.push('\n');
+        text.push_str(&self.metrics.snapshot().to_tsv());
+        match std::fs::write(path, text) {
+            Ok(()) => self.emit(&format!("dumped trace + metrics to {path}")),
+            Err(e) => self.emit(&format!("error: cannot write {path}: {e}")),
+        }
+    }
+}
+
+impl<S: CommandSource> Probe for DebugSession<S> {
+    const INSPECT: bool = true;
+
+    fn record(&mut self, t: f64, ev: &ProbeEvent) {
+        Probe::record(&mut self.metrics, t, ev);
+        Probe::record(&mut self.flight, t, ev);
+        self.shadow.apply(ev);
+        if self.mode == Mode::Quit {
+            return;
+        }
+        let cx = EvalCx {
+            t,
+            ev,
+            queue: self.shadow.queue(ev),
+            backlog: self.shadow.backlog(ev),
+        };
+        let stopping = self.mode != Mode::Finish;
+        let mut announce: Vec<String> = Vec::new();
+        for e in self.entries.iter_mut().filter(|e| !e.deleted) {
+            if e.pred.eval(&cx, &mut e.counters) {
+                e.hits += 1;
+                let label = if e.watch { "watch" } else { "breakpoint" };
+                let line = format!("{label} #{} hit: {}", e.id, render_line(t, ev));
+                if e.watch || !stopping {
+                    announce.push(line);
+                } else {
+                    self.pending.push(line);
+                }
+            }
+        }
+        for line in announce {
+            self.emit(&line);
+        }
+        match self.mode {
+            Mode::Step(n) => {
+                if n <= 1 {
+                    self.pending.push(format!("step: {}", render_line(t, ev)));
+                    self.mode = Mode::Run;
+                } else {
+                    self.mode = Mode::Step(n - 1);
+                }
+            }
+            Mode::Next(mask) if event_bit(ev) & mask != 0 => {
+                self.pending.push(format!("next: {}", render_line(t, ev)));
+                self.mode = Mode::Run;
+            }
+            _ => {}
+        }
+    }
+
+    fn wants_inspect(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    fn inspect(&mut self, t: f64, snapshot: &EngineSnapshot) {
+        self.stops += 1;
+        let pending = std::mem::take(&mut self.pending);
+        for line in pending {
+            self.emit(&line);
+        }
+        self.emit(&format!(
+            "-- stopped at t={t:.9} after {} events",
+            snapshot.events
+        ));
+        self.command_loop(Some(snapshot));
+    }
+}

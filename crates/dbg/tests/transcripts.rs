@@ -1,0 +1,189 @@
+//! Scripted-session golden transcripts across all three engines, the
+//! byte-determinism pin, and the acceptance path: a corpus scenario
+//! re-run under the debugger stops at the right sim-time and still
+//! produces a report bitwise-identical to the undebugged run.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! RESPECT_REGEN_GOLDEN=1 cargo test -p respect_dbg --test transcripts
+//! git diff crates/dbg/tests/golden/   # review the drift!
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use respect_dbg::session::{DebugSession, ScriptSource};
+use respect_obs::{Probe, ProbeEvent};
+use respect_scn::{Scenario, ScenarioRun};
+
+fn manifest(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn load_scenario(path: &Path) -> Scenario {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    respect_scn::parse(&src).unwrap_or_else(|e| panic!("{}:{e}", path.display()))
+}
+
+/// Runs `scn_rel` under the debugger driving `script_rel`.
+fn run_scripted(scn_rel: &str, script_rel: &str) -> (ScenarioRun, String) {
+    let scenario = load_scenario(&manifest(scn_rel));
+    let script = std::fs::read_to_string(manifest(script_rel))
+        .unwrap_or_else(|e| panic!("{script_rel}: {e}"));
+    let out = DebugSession::new(ScriptSource::new(&script))
+        .run(&scenario)
+        .expect("debugged run executes");
+    (out.run, out.transcript)
+}
+
+/// Compares `got` against the golden file, regenerating under
+/// `RESPECT_REGEN_GOLDEN=1`.
+fn assert_golden(got: &str, golden_rel: &str) {
+    let path = manifest(golden_rel);
+    if std::env::var_os("RESPECT_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, got).expect("write golden file");
+        eprintln!("regenerated {golden_rel} ({} lines)", got.lines().count());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{golden_rel} unreadable ({e}); regenerate it"));
+    assert_eq!(
+        got, golden,
+        "transcript drift against {golden_rel} — review and regenerate \
+         with RESPECT_REGEN_GOLDEN=1 if intentional"
+    );
+}
+
+/// One golden per engine: the debugged report must also equal the
+/// undebugged `execute()` bitwise (debugging is observation only).
+fn golden_case(scn_rel: &str, script_rel: &str, golden_rel: &str) {
+    let (run, transcript) = run_scripted(scn_rel, script_rel);
+    assert_golden(&transcript, golden_rel);
+    let plain = load_scenario(&manifest(scn_rel)).execute().unwrap();
+    assert_eq!(run, plain, "debugging perturbed the {scn_rel} report");
+}
+
+#[test]
+fn sim_walk_matches_golden() {
+    golden_case(
+        "tests/scn/sim_basic.scn",
+        "tests/scripts/sim_walk.dbg",
+        "tests/golden/sim_walk.txt",
+    );
+}
+
+#[test]
+fn serve_shed_hunt_matches_golden() {
+    golden_case(
+        "tests/scn/serve_sheds.scn",
+        "tests/scripts/serve_shed_hunt.dbg",
+        "tests/golden/serve_shed_hunt.txt",
+    );
+}
+
+#[test]
+fn fleet_scale_watch_matches_golden() {
+    golden_case(
+        "tests/scn/fleet_scale.scn",
+        "tests/scripts/fleet_scale_watch.dbg",
+        "tests/golden/fleet_scale_watch.txt",
+    );
+}
+
+#[test]
+fn same_script_and_seed_is_byte_identical() {
+    let first = run_scripted(
+        "tests/scn/serve_sheds.scn",
+        "tests/scripts/serve_shed_hunt.dbg",
+    );
+    let second = run_scripted(
+        "tests/scn/serve_sheds.scn",
+        "tests/scripts/serve_shed_hunt.dbg",
+    );
+    assert_eq!(first.1, second.1, "transcripts must be byte-identical");
+    assert_eq!(first.0, second.0, "reports must be bitwise-identical");
+}
+
+#[test]
+fn bad_commands_report_in_transcript_without_aborting() {
+    let scenario = load_scenario(&manifest("tests/scn/sim_basic.scn"));
+    let script = "bogus cmd\nbreak shed and nope\nstep 0\ncontinue\nquit\n";
+    let out = DebugSession::new(ScriptSource::new(script))
+        .run(&scenario)
+        .expect("bad commands never abort the run");
+    assert!(
+        out.transcript
+            .contains("error: 1:1: unknown command `bogus`"),
+        "{}",
+        out.transcript
+    );
+    assert!(
+        out.transcript
+            .contains("error: 2:16: unknown kind or field `nope`"),
+        "{}",
+        out.transcript
+    );
+    assert!(
+        out.transcript
+            .contains("error: 3:6: `step` takes a positive event count"),
+        "{}",
+        out.transcript
+    );
+    assert_eq!(out.run, scenario.execute().unwrap());
+}
+
+/// Collects shed times for the acceptance cross-check.
+#[derive(Default)]
+struct ShedTimes(Vec<f64>);
+
+impl Probe for ShedTimes {
+    fn record(&mut self, t: f64, ev: &ProbeEvent) {
+        if matches!(ev, ProbeEvent::Shed { .. }) {
+            self.0.push(t);
+        }
+    }
+}
+
+/// The ISSUE acceptance path: a scenario from the existing corpus
+/// (`tests/scn/serve/queue_bound_sheds.scn`), re-run under
+/// `respect-dbg` with a breakpoint on its shed: the stop fires at the
+/// sim-time of the first shed, `inspect` is available at that point,
+/// and `continue` completes with a report bitwise-identical to the
+/// undebugged run.
+#[test]
+fn corpus_scenario_stops_at_first_shed_and_finishes_unperturbed() {
+    let path = manifest("../../tests/scn/serve/queue_bound_sheds.scn");
+    let scenario = load_scenario(&path);
+
+    // ground truth: shed times from a plain probed run
+    let mut sheds = ShedTimes::default();
+    let plain = scenario.execute_probed(&mut sheds).unwrap();
+    let first_shed = *sheds.0.first().expect("the corpus scenario sheds");
+
+    let script = "break shed\ncontinue\ninspect\nquit\n";
+    let out = DebugSession::new(ScriptSource::new(script))
+        .run(&scenario)
+        .unwrap();
+    let stop = format!("-- stopped at t={first_shed:.9}");
+    assert!(
+        out.transcript.contains(&stop),
+        "expected `{stop}` in:\n{}",
+        out.transcript
+    );
+    assert!(
+        out.transcript
+            .contains(&format!("breakpoint #1 hit: [{first_shed:.9}] shed")),
+        "{}",
+        out.transcript
+    );
+    assert!(
+        out.transcript.contains("state: serve"),
+        "{}",
+        out.transcript
+    );
+    assert_eq!(
+        out.run, plain,
+        "the debugged corpus run must be bitwise-identical to the plain run"
+    );
+}

@@ -48,6 +48,7 @@
 
 pub mod flight;
 pub mod metrics;
+pub mod render;
 pub mod trace;
 
 pub use flight::FlightRecorder;

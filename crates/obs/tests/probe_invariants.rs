@@ -205,5 +205,5 @@ fn recorders_observe_without_perturbing_and_agree_with_the_report() {
     assert!(!trace.is_empty(), "spans were traced");
     assert_eq!(flight.len(), 64, "the flight ring filled");
     assert!(flight.dropped() > 0);
-    assert!(flight.dump().contains("Completion"));
+    assert!(flight.dump().contains("completion"));
 }

@@ -33,7 +33,10 @@ use respect_tpu::compile::{self, CompiledPipeline};
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::event_queue::EventQueue;
 use respect_tpu::mem::{InlineVec, Slab, SmallQueue};
-use respect_tpu::probe::{Probe, ProbeEvent, ShedReason};
+use respect_tpu::probe::{
+    BusSnapshot, ChainSnapshot, DeviceSnapshot, EngineInspect, EngineKind, EngineSnapshot, Probe,
+    ProbeEvent, ShedReason, TenantSnapshot,
+};
 use respect_tpu::sim::{self, ArrivalSampler, ResourceId};
 use respect_tpu::usb;
 
@@ -893,5 +896,62 @@ impl<'a> ChainEngine<'a> {
 
     pub(crate) fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// Read-only copy of this chain's occupancy and per-tenant state,
+    /// for debugger safe-point inspection. `powered` is the fleet's
+    /// active-prefix membership (always `true` single-chain).
+    pub(crate) fn chain_snapshot(&self, powered: bool) -> ChainSnapshot {
+        ChainSnapshot {
+            chain: self.c,
+            powered,
+            backlog: self.in_system,
+            drain_estimate_s: self.drain_estimate_s(),
+            busy_s: self.busy_s,
+            bus: self.contended_bus.then(|| BusSnapshot {
+                busy: self.bus.busy,
+                queued: self.bus.queue.len(),
+                busy_s: self.bus.busy_s,
+            }),
+            devices: self
+                .devices
+                .iter()
+                .map(|d| DeviceSnapshot {
+                    busy: d.busy,
+                    queued: d.queue.len(),
+                })
+                .collect(),
+            tenants: self
+                .states
+                .iter()
+                .enumerate()
+                .map(|(w, st)| TenantSnapshot {
+                    tenant: w as u32,
+                    admitted: st.admitted,
+                    completed: st.done_requests,
+                    open_batch: st.open.clone(),
+                    waiting: st.waiting(),
+                    in_flight_jobs: st.jobs.len(),
+                    swaps: st.swaps.len(),
+                    drift_window_jobs: st.window.jobs,
+                    drift_busy_s: st.window.busy_s.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl EngineInspect for ChainEngine<'_> {
+    /// One chain viewed as a whole engine (the single-chain runtime's
+    /// snapshot delegates here). The driver owns the clock and event
+    /// count, so they read 0 from a bare chain.
+    fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            kind: EngineKind::Serve,
+            now_s: 0.0,
+            events: 0,
+            active_chains: 1,
+            chains: vec![self.chain_snapshot(true)],
+        }
     }
 }

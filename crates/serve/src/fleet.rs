@@ -34,7 +34,7 @@ use rand::{Rng, SeedableRng};
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::energy::{self, EnergyTotals};
 use respect_tpu::event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
-use respect_tpu::probe::{NullProbe, Probe, ProbeEvent};
+use respect_tpu::probe::{EngineInspect, EngineKind, EngineSnapshot, NullProbe, Probe, ProbeEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::chain::{ChainEngine, ChainEvent, Event, TenantRecords};
@@ -497,6 +497,12 @@ impl<'a, Q: EventQueue<Event>, P: Probe> FleetEngine<'a, Q, P> {
                     }
                 }
             }
+            // Safe point: a debugger probe may suspend and snapshot
+            // here; the poll compiles away for non-debugging probes.
+            if P::INSPECT && self.probe.wants_inspect() {
+                let snap = self.snapshot();
+                self.probe.inspect(t, &snap);
+            }
         }
         self.finalize()
     }
@@ -714,6 +720,23 @@ impl<'a, Q: EventQueue<Event>, P: Probe> FleetEngine<'a, Q, P> {
             makespan_s,
             events: self.events,
             scale_events: self.scale_events,
+        }
+    }
+}
+
+impl<Q, P> EngineInspect for FleetEngine<'_, Q, P> {
+    fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            kind: EngineKind::Fleet,
+            now_s: self.now,
+            events: self.events,
+            active_chains: self.active,
+            chains: self
+                .chains
+                .iter()
+                .enumerate()
+                .map(|(c, ch)| ch.chain_snapshot(c < self.active))
+                .collect(),
         }
     }
 }

@@ -44,7 +44,7 @@ use std::fmt;
 use respect_tpu::compile::CompiledPipeline;
 use respect_tpu::device::DeviceSpec;
 use respect_tpu::event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
-use respect_tpu::probe::{NullProbe, Probe, ProbeEvent};
+use respect_tpu::probe::{EngineInspect, EngineSnapshot, NullProbe, Probe, ProbeEvent};
 use respect_tpu::sim::{Arrivals, CompletionRecord, SimError};
 use serde::{Deserialize, Serialize};
 
@@ -659,6 +659,12 @@ impl<'a, Q: EventQueue<Event>, P: Probe> Driver<'a, Q, P> {
                     }
                 }
             }
+            // Safe point: a debugger probe may suspend and snapshot
+            // here; the poll compiles away for non-debugging probes.
+            if P::INSPECT && self.probe.wants_inspect() {
+                let snap = self.snapshot();
+                self.probe.inspect(t, &snap);
+            }
         }
         self.finalize()
     }
@@ -715,6 +721,16 @@ impl<'a, Q: EventQueue<Event>, P: Probe> Driver<'a, Q, P> {
             makespan_s: self.now,
             bus_busy_s: self.chain.bus_busy_s(),
             events: self.events,
+        }
+    }
+}
+
+impl<Q, P> EngineInspect for Driver<'_, Q, P> {
+    fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            now_s: self.now,
+            events: self.events,
+            ..self.chain.snapshot()
         }
     }
 }

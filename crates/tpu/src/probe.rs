@@ -193,8 +193,159 @@ pub trait Probe {
     /// `false` compiles every emission site away (see [`NullProbe`]).
     const ENABLED: bool = true;
 
+    /// `true` makes the engines poll [`Probe::wants_inspect`] at every
+    /// safe point (between two DES event dispatches) and, when the
+    /// probe asks, hand it a read-only [`EngineSnapshot`] via
+    /// [`Probe::inspect`]. The default `false` compiles the poll away
+    /// exactly like [`Probe::ENABLED`] does for emission sites, so
+    /// non-debugging probes pay nothing for the hook's existence.
+    ///
+    /// This is the suspension mechanism behind the `respect_dbg`
+    /// stepping debugger: its probe matches breakpoint predicates in
+    /// [`Probe::record`], reports a pending stop through
+    /// `wants_inspect`, and runs its command loop inside `inspect` —
+    /// the engine is suspended for exactly as long as that call takes
+    /// and resumes bitwise-identically afterwards.
+    const INSPECT: bool = false;
+
     /// Observes one event at simulated time `t` (seconds).
     fn record(&mut self, t: f64, ev: &ProbeEvent);
+
+    /// Polled at engine safe points when [`Probe::INSPECT`] is `true`:
+    /// return `true` to receive an [`EngineSnapshot`] (and suspend the
+    /// engine for the duration of the [`Probe::inspect`] call).
+    fn wants_inspect(&self) -> bool {
+        false
+    }
+
+    /// Safe-point callback with a read-only snapshot of the engine
+    /// state at simulated time `t`. Only called when
+    /// [`Probe::INSPECT`] is `true` and [`Probe::wants_inspect`]
+    /// returned `true` at this safe point.
+    fn inspect(&mut self, t: f64, snapshot: &EngineSnapshot) {
+        let _ = (t, snapshot);
+    }
+}
+
+/// Read-only state inspection, implemented by every engine that
+/// supports safe-point suspension (the raw sim engine, the single-chain
+/// serving driver, `ChainEngine`, and `FleetEngine` in `respect_serve`).
+///
+/// The snapshot is an owned, plain-data copy: building it borrows the
+/// engine shared, handing it to the probe borrows nothing, so a
+/// suspended probe can hold it for as long as its command loop runs.
+pub trait EngineInspect {
+    /// A plain-data copy of the engine's inspectable state, as of the
+    /// most recently dispatched event.
+    fn snapshot(&self) -> EngineSnapshot;
+}
+
+/// Which engine produced an [`EngineSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The raw discrete-event simulator ([`crate::sim`]).
+    Sim,
+    /// The single-chain serving runtime (`respect_serve::serve`).
+    Serve,
+    /// The fleet runtime (`respect_serve::fleet`).
+    Fleet,
+}
+
+impl EngineKind {
+    /// Lower-case name (`sim` / `serve` / `fleet`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Sim => "sim",
+            EngineKind::Serve => "serve",
+            EngineKind::Fleet => "fleet",
+        }
+    }
+}
+
+/// A read-only, plain-data copy of a running engine's state at a safe
+/// point — what the `respect_dbg` `inspect` command renders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// Which engine this is.
+    pub kind: EngineKind,
+    /// Simulated time of the most recently dispatched event, seconds.
+    pub now_s: f64,
+    /// Events dispatched so far.
+    pub events: u64,
+    /// Active-chain prefix (fleet autoscaling); equals `chains.len()`
+    /// for sim/serve.
+    pub active_chains: usize,
+    /// One snapshot per chain, in chain-index order.
+    pub chains: Vec<ChainSnapshot>,
+}
+
+/// One chain's state within an [`EngineSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainSnapshot {
+    /// Fleet chain index (0 for sim/serve).
+    pub chain: u16,
+    /// Whether the chain is in the fleet's powered prefix (always
+    /// `true` for sim/serve).
+    pub powered: bool,
+    /// Admitted-minus-completed requests on this chain.
+    pub backlog: usize,
+    /// Little's-law backlog drain estimate, seconds (0 for sim).
+    pub drain_estimate_s: f64,
+    /// Device-busy seconds integrated so far (0 for sim).
+    pub busy_s: f64,
+    /// Shared-bus state, when the run contends a bus.
+    pub bus: Option<BusSnapshot>,
+    /// Per-device occupancy, in chain position order.
+    pub devices: Vec<DeviceSnapshot>,
+    /// Per-tenant state, in input order.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+/// One device's occupancy within a [`ChainSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSnapshot {
+    /// Whether a job currently holds the device.
+    pub busy: bool,
+    /// Jobs queued behind the current hold.
+    pub queued: usize,
+}
+
+/// Shared-bus occupancy within a [`ChainSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusSnapshot {
+    /// Whether a transfer currently holds the bus.
+    pub busy: bool,
+    /// Transfers queued behind the current hold.
+    pub queued: usize,
+    /// Bus-busy seconds integrated so far.
+    pub busy_s: f64,
+}
+
+/// One tenant's state on one chain within a [`ChainSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant (workload) index.
+    pub tenant: u32,
+    /// Requests admitted to this chain so far.
+    pub admitted: usize,
+    /// Admitted requests whose job has completed.
+    pub completed: usize,
+    /// Request ids waiting in the open (unclosed) dynamic batch, in
+    /// admission order. Always empty for sim, which has no batcher.
+    pub open_batch: Vec<u32>,
+    /// Requests not yet in service: open batch plus jobs queued before
+    /// stage 0 (for sim: admitted-but-uncompleted requests).
+    pub waiting: usize,
+    /// Jobs currently in flight through the device chain.
+    pub in_flight_jobs: usize,
+    /// Pipeline hot-swaps applied so far.
+    pub swaps: usize,
+    /// Jobs observed by the current drift window (0 when the tenant
+    /// has no repartitioner).
+    pub drift_window_jobs: usize,
+    /// Per-stage busy seconds accumulated by the current drift window.
+    pub drift_busy_s: Vec<f64>,
 }
 
 /// The default probe: observes nothing, costs nothing.
@@ -215,16 +366,28 @@ impl Probe for NullProbe {
 
 impl<P: Probe> Probe for &mut P {
     const ENABLED: bool = P::ENABLED;
+    const INSPECT: bool = P::INSPECT;
 
     #[inline]
     fn record(&mut self, t: f64, ev: &ProbeEvent) {
         (**self).record(t, ev);
+    }
+
+    #[inline]
+    fn wants_inspect(&self) -> bool {
+        (**self).wants_inspect()
+    }
+
+    #[inline]
+    fn inspect(&mut self, t: f64, snapshot: &EngineSnapshot) {
+        (**self).inspect(t, snapshot);
     }
 }
 
 /// Fan-out: both probes observe every event, in tuple order.
 impl<A: Probe, B: Probe> Probe for (A, B) {
     const ENABLED: bool = A::ENABLED || B::ENABLED;
+    const INSPECT: bool = A::INSPECT || B::INSPECT;
 
     #[inline]
     fn record(&mut self, t: f64, ev: &ProbeEvent) {
@@ -233,6 +396,21 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
         }
         if B::ENABLED {
             self.1.record(t, ev);
+        }
+    }
+
+    #[inline]
+    fn wants_inspect(&self) -> bool {
+        (A::INSPECT && self.0.wants_inspect()) || (B::INSPECT && self.1.wants_inspect())
+    }
+
+    #[inline]
+    fn inspect(&mut self, t: f64, snapshot: &EngineSnapshot) {
+        if A::INSPECT {
+            self.0.inspect(t, snapshot);
+        }
+        if B::INSPECT {
+            self.1.inspect(t, snapshot);
         }
     }
 }

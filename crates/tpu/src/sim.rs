@@ -56,7 +56,10 @@ use crate::compile::{CompiledPipeline, Segment};
 use crate::device::DeviceSpec;
 use crate::event_queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind};
 use crate::mem::SmallQueue;
-use crate::probe::{NullProbe, Probe, ProbeEvent, SpanLog};
+use crate::probe::{
+    BusSnapshot, ChainSnapshot, DeviceSnapshot, EngineInspect, EngineKind, EngineSnapshot,
+    NullProbe, Probe, ProbeEvent, SpanLog, TenantSnapshot,
+};
 use crate::usb;
 
 /// Errors rejected by [`run`] before any event is simulated.
@@ -946,6 +949,14 @@ impl<'a, Q: EventQueue<EventKind>, P: Probe> Engine<'a, Q, P> {
                     self.after_bus_phase(w as usize, r as usize, k as usize, phase, t);
                 }
             }
+            // Safe point: the event is fully dispatched, so a debugger
+            // probe may suspend here and take a consistent snapshot.
+            // `P::INSPECT` is false for every non-debugging probe, so
+            // the poll compiles away like the emission guards do.
+            if P::INSPECT && self.probe.wants_inspect() {
+                let snap = self.snapshot();
+                self.probe.inspect(t, &snap);
+            }
         }
         self.finalize()
     }
@@ -1214,6 +1225,58 @@ impl<'a, Q: EventQueue<EventKind>, P: Probe> Engine<'a, Q, P> {
             bus_busy_s: self.bus.busy_s,
             events: self.events,
             trace: self.trace.into_vec(),
+        }
+    }
+}
+
+impl<Q, P> EngineInspect for Engine<'_, Q, P> {
+    /// The raw simulator as one always-powered chain: no batcher (open
+    /// batches are empty), no drift windows, `waiting` is the
+    /// admitted-but-uncompleted request count.
+    fn snapshot(&self) -> EngineSnapshot {
+        let tenants = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(w, t)| TenantSnapshot {
+                tenant: w as u32,
+                admitted: t.done + t.inflight_arrivals.len(),
+                completed: t.done,
+                open_batch: Vec::new(),
+                waiting: t.inflight_arrivals.len(),
+                in_flight_jobs: t.inflight_arrivals.len(),
+                swaps: 0,
+                drift_window_jobs: 0,
+                drift_busy_s: Vec::new(),
+            })
+            .collect();
+        let backlog = self.tenants.iter().map(|t| t.inflight_arrivals.len()).sum();
+        EngineSnapshot {
+            kind: EngineKind::Sim,
+            now_s: self.now,
+            events: self.events,
+            active_chains: 1,
+            chains: vec![ChainSnapshot {
+                chain: 0,
+                powered: true,
+                backlog,
+                drain_estimate_s: 0.0,
+                busy_s: 0.0,
+                bus: self.cfg.contended_bus.then(|| BusSnapshot {
+                    busy: self.bus.busy,
+                    queued: self.bus.queue.len(),
+                    busy_s: self.bus.busy_s,
+                }),
+                devices: self
+                    .devices
+                    .iter()
+                    .map(|d| DeviceSnapshot {
+                        busy: d.busy,
+                        queued: d.queue.len(),
+                    })
+                    .collect(),
+                tenants,
+            }],
         }
     }
 }
